@@ -1,0 +1,110 @@
+package cem_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6, Appendix C), plus scheme-level micro-benchmarks. Each experiment
+// benchmark regenerates its table at a reduced scale per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/embench for the full-scale, human-readable reproduction.
+
+import (
+	"testing"
+	"time"
+
+	cem "repro"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+)
+
+// benchConfig keeps per-iteration work bounded.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Scale = 0.2
+	cfg.Machines = 8
+	cfg.RoundOverhead = time.Millisecond
+	cfg.Fig3fSteps = 4
+	return cfg
+}
+
+func benchExperiment(b *testing.B, fn func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3a(b *testing.B)  { benchExperiment(b, experiments.Fig3a) }
+func BenchmarkFig3b(b *testing.B)  { benchExperiment(b, experiments.Fig3b) }
+func BenchmarkFig3c(b *testing.B)  { benchExperiment(b, experiments.Fig3c) }
+func BenchmarkFig3d(b *testing.B)  { benchExperiment(b, experiments.Fig3d) }
+func BenchmarkFig3e(b *testing.B)  { benchExperiment(b, experiments.Fig3e) }
+func BenchmarkFig3f(b *testing.B)  { benchExperiment(b, experiments.Fig3f) }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, experiments.Table1) }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, experiments.Fig4a) }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, experiments.Fig4b) }
+func BenchmarkFig4c(b *testing.B)  { benchExperiment(b, experiments.Fig4c) }
+func BenchmarkAblationCover(b *testing.B) {
+	benchExperiment(b, experiments.AblationCover)
+}
+
+// --- scheme-level micro-benchmarks over a fixed experiment ------------
+
+func benchScheme(b *testing.B, kind cem.DatasetKind, s cem.Scheme, m cem.MatcherKind) {
+	b.Helper()
+	exp, err := cem.Setup(cem.NewDataset(kind, 0.25, 42), cem.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(s, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoMPMLNHepth(b *testing.B) { benchScheme(b, cem.HEPTH, cem.SchemeNoMP, cem.MatcherMLN) }
+func BenchmarkSMPMLNHepth(b *testing.B)  { benchScheme(b, cem.HEPTH, cem.SchemeSMP, cem.MatcherMLN) }
+func BenchmarkMMPMLNHepth(b *testing.B)  { benchScheme(b, cem.HEPTH, cem.SchemeMMP, cem.MatcherMLN) }
+func BenchmarkUBMLNHepth(b *testing.B)   { benchScheme(b, cem.HEPTH, cem.SchemeUB, cem.MatcherMLN) }
+func BenchmarkFullMLNHepth(b *testing.B) { benchScheme(b, cem.HEPTH, cem.SchemeFull, cem.MatcherMLN) }
+func BenchmarkNoMPMLNDblp(b *testing.B)  { benchScheme(b, cem.DBLP, cem.SchemeNoMP, cem.MatcherMLN) }
+func BenchmarkSMPMLNDblp(b *testing.B)   { benchScheme(b, cem.DBLP, cem.SchemeSMP, cem.MatcherMLN) }
+func BenchmarkMMPMLNDblp(b *testing.B)   { benchScheme(b, cem.DBLP, cem.SchemeMMP, cem.MatcherMLN) }
+func BenchmarkSMPRulesHepth(b *testing.B) {
+	benchScheme(b, cem.HEPTH, cem.SchemeSMP, cem.MatcherRules)
+}
+func BenchmarkFullRulesDblp(b *testing.B) {
+	benchScheme(b, cem.DBLP, cem.SchemeFull, cem.MatcherRules)
+}
+
+// BenchmarkSetup measures cover construction plus matcher grounding.
+func BenchmarkSetup(b *testing.B) {
+	d := cem.NewDataset(cem.HEPTH, 0.25, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cem.Setup(d, cem.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSMP measures the parallel rounds-based executor.
+func BenchmarkGridSMP(b *testing.B) {
+	exp, err := cem.Setup(cem.NewDataset(cem.DBLP, 0.25, 42), cem.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := grid.Config{Machines: 8, RoundOverhead: 0, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunGrid(cem.SchemeSMP, cem.MatcherMLN, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package cem
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// run is a test helper: execute a scheme and fail on error.
+func run(t *testing.T, exp *Experiment, s Scheme, m MatcherKind) *core.Result {
+	t.Helper()
+	res, err := exp.Run(s, m)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", s, m, err)
+	}
+	return res
+}
+
+// TestSetupWiring checks the facade assembles a consistent experiment.
+func TestSetupWiring(t *testing.T) {
+	d := NewDataset(DBLP, 0.2, 3)
+	exp, err := Setup(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Cover.IsCover() {
+		t.Error("cover does not cover all references")
+	}
+	if !exp.Cover.IsTotal(d.Coauthor()) {
+		t.Error("cover not total w.r.t. Coauthor (Definition 7)")
+	}
+	if len(exp.Candidates) == 0 {
+		t.Error("no candidate pairs")
+	}
+	if exp.MLN.NumPairs() != len(exp.Candidates) || exp.Rules.NumPairs() != len(exp.Candidates) {
+		t.Error("matchers ground a different pair universe than the candidates")
+	}
+	if exp.Truth.Len() == 0 {
+		t.Error("no ground-truth pairs")
+	}
+}
+
+// TestNewDatasetKinds covers the three presets and determinism.
+func TestNewDatasetKinds(t *testing.T) {
+	for _, kind := range []DatasetKind{HEPTH, DBLP, DBLPBig} {
+		d := NewDataset(kind, 0.1, 5)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+		d2 := NewDataset(kind, 0.1, 5)
+		if d.NumRefs() != d2.NumRefs() {
+			t.Errorf("%s: generation not deterministic", kind)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset kind must panic")
+		}
+	}()
+	NewDataset("nope", 1, 1)
+}
+
+// TestRunRejectsBadArgs: unknown schemes/matchers error cleanly.
+func TestRunRejectsBadArgs(t *testing.T) {
+	d := NewDataset(DBLP, 0.1, 3)
+	exp, err := Setup(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run("warp", MatcherMLN); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := exp.Run(SchemeSMP, "psychic"); err == nil {
+		t.Error("unknown matcher accepted")
+	}
+	if _, err := exp.Run(SchemeMMP, MatcherRules); err == nil {
+		t.Error("MMP with the Type-I RULES matcher must fail")
+	}
+	if _, err := exp.Run(SchemeUB, MatcherRules); err == nil {
+		t.Error("UB with the RULES matcher must fail (no DecideGiven)")
+	}
+}
+
+// TestPaperShapeMLN asserts the paper's headline orderings on both
+// corpora (Figures 3(a)–3(c)): precision near 1 for every scheme;
+// recall NO-MP ≤ SMP ≤ MMP; MMP sound AND complete w.r.t. FULL
+// (completeness 1 — the §6.1 result); UB at least FULL's recall.
+func TestPaperShapeMLN(t *testing.T) {
+	for _, kind := range []DatasetKind{HEPTH, DBLP} {
+		d := NewDataset(kind, 0.35, 42)
+		exp, err := Setup(d, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nomp := run(t, exp, SchemeNoMP, MatcherMLN)
+		smp := run(t, exp, SchemeSMP, MatcherMLN)
+		mmp := run(t, exp, SchemeMMP, MatcherMLN)
+		full := run(t, exp, SchemeFull, MatcherMLN)
+		ub := run(t, exp, SchemeUB, MatcherMLN)
+
+		rN := exp.Evaluate(nomp).PRF
+		rS := exp.Evaluate(smp).PRF
+		rM := exp.Evaluate(mmp).PRF
+		rF := exp.Evaluate(full).PRF
+		rU := exp.Evaluate(ub).PRF
+
+		for name, p := range map[string]float64{
+			"NO-MP": rN.Precision, "SMP": rS.Precision, "MMP": rM.Precision,
+		} {
+			if p < 0.85 {
+				t.Errorf("%s: %s precision %.3f below 0.85", kind, name, p)
+			}
+		}
+		if !(rN.Recall <= rS.Recall && rS.Recall <= rM.Recall) {
+			t.Errorf("%s: recall ordering violated: NO-MP %.3f, SMP %.3f, MMP %.3f",
+				kind, rN.Recall, rS.Recall, rM.Recall)
+		}
+		if rM.Recall <= rN.Recall {
+			t.Errorf("%s: MMP gained nothing over NO-MP (%.3f vs %.3f)",
+				kind, rM.Recall, rN.Recall)
+		}
+		// Soundness: every scheme ⊆ FULL (Theorems 2 and 4).
+		for name, res := range map[string]*core.Result{"NO-MP": nomp, "SMP": smp, "MMP": mmp} {
+			if s := eval.Soundness(res.Matches, full.Matches); s < 1 {
+				t.Errorf("%s: %s unsound vs FULL: %.4f", kind, name, s)
+			}
+		}
+		// Completeness: MMP recovers the full run exactly (§6.1).
+		if c := eval.Completeness(mmp.Matches, full.Matches); c < 1 {
+			t.Errorf("%s: MMP completeness vs FULL = %.4f, want 1", kind, c)
+		}
+		// UB upper-bounds the full run's recall.
+		if rU.Recall < rF.Recall {
+			t.Errorf("%s: UB recall %.3f below FULL %.3f", kind, rU.Recall, rF.Recall)
+		}
+	}
+}
+
+// TestPaperShapeRules asserts Appendix C: SMP equals FULL for the RULES
+// matcher, both at least NO-MP; and MMP/UB are rejected for Type-I.
+func TestPaperShapeRules(t *testing.T) {
+	for _, kind := range []DatasetKind{HEPTH, DBLP} {
+		d := NewDataset(kind, 0.35, 42)
+		exp, err := Setup(d, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nomp := run(t, exp, SchemeNoMP, MatcherRules)
+		smp := run(t, exp, SchemeSMP, MatcherRules)
+		full := run(t, exp, SchemeFull, MatcherRules)
+		if !smp.Matches.Equal(full.Matches) {
+			t.Errorf("%s: SMP != FULL for RULES (%d vs %d matches)",
+				kind, smp.Matches.Len(), full.Matches.Len())
+		}
+		if !nomp.Matches.Subset(smp.Matches) {
+			t.Errorf("%s: SMP lost NO-MP matches", kind)
+		}
+	}
+}
+
+// TestNeighborhoodRegimes: the corpus-level contrast of §6.1 — the
+// DBLP-like corpus produces more, smaller neighborhoods than HEPTH-like.
+func TestNeighborhoodRegimes(t *testing.T) {
+	hep, err := Setup(NewDataset(HEPTH, 0.35, 42), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbl, err := Setup(NewDataset(DBLP, 0.35, 42), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, ds := hep.Cover.ComputeStats(), dbl.Cover.ComputeStats()
+	if ds.MeanSize >= hs.MeanSize {
+		t.Errorf("DBLP mean neighborhood %.1f must be below HEPTH %.1f", ds.MeanSize, hs.MeanSize)
+	}
+	// Per reference, DBLP yields more neighborhoods.
+	hRate := float64(hs.Neighborhoods) / float64(hep.Dataset.NumRefs())
+	dRate := float64(ds.Neighborhoods) / float64(dbl.Dataset.NumRefs())
+	if dRate <= hRate {
+		t.Errorf("DBLP neighborhoods/ref %.3f must exceed HEPTH %.3f", dRate, hRate)
+	}
+}
+
+// TestTransitiveClosureHelper: closure connects chains and is idempotent.
+func TestTransitiveClosureHelper(t *testing.T) {
+	d := NewDataset(DBLP, 0.1, 3)
+	exp, err := Setup(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := core.NewPairSet(core.MakePair(0, 1), core.MakePair(1, 2))
+	closed := exp.TransitiveClosure(chain)
+	if !closed.Has(core.MakePair(0, 2)) {
+		t.Error("closure missing chain pair")
+	}
+	if !exp.TransitiveClosure(closed).Equal(closed) {
+		t.Error("closure not idempotent")
+	}
+}
+
+// TestGridFacade: the grid runner agrees with the sequential scheme.
+func TestGridFacade(t *testing.T) {
+	d := NewDataset(DBLP, 0.2, 11)
+	exp, err := Setup(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := run(t, exp, SchemeSMP, MatcherMLN)
+	gres, err := exp.RunGrid(SchemeSMP, MatcherMLN, gridDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gres.Matches.Equal(seq.Matches) {
+		t.Errorf("grid SMP diverges from sequential: %d vs %d matches",
+			gres.Matches.Len(), seq.Matches.Len())
+	}
+	if _, err := exp.RunGrid(SchemeUB, MatcherMLN, gridDefaults()); err == nil {
+		t.Error("UB on the grid must be rejected")
+	}
+}
+
+// TestEvaluateBCubed: the cluster metric is consistent with the pairwise
+// one — a sound high-precision match set yields high B³ precision, and
+// richer schemes never lower B³ recall.
+func TestEvaluateBCubed(t *testing.T) {
+	d := NewDataset(DBLP, 0.25, 17)
+	exp, err := Setup(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomp := run(t, exp, SchemeNoMP, MatcherMLN)
+	mmp := run(t, exp, SchemeMMP, MatcherMLN)
+	bN, bM := exp.EvaluateBCubed(nomp), exp.EvaluateBCubed(mmp)
+	if bN.Precision < 0.9 || bM.Precision < 0.9 {
+		t.Errorf("B³ precision low: NO-MP %.3f, MMP %.3f", bN.Precision, bM.Precision)
+	}
+	if bM.Recall < bN.Recall {
+		t.Errorf("MMP lowered B³ recall: %.3f < %.3f", bM.Recall, bN.Recall)
+	}
+	// Singleton prediction bound: recall equals per-entity 1/|cluster|
+	// average; any real matching must beat it.
+	empty := &core.Result{Scheme: "empty", Matches: core.NewPairSet()}
+	if exp.EvaluateBCubed(empty).Recall >= bM.Recall {
+		t.Error("MMP B³ recall not above the singleton baseline")
+	}
+}
+
+// TestEvaluateAgainst exercises the reference-based report path.
+func TestEvaluateAgainst(t *testing.T) {
+	d := NewDataset(DBLP, 0.2, 11)
+	exp, err := Setup(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := run(t, exp, SchemeFull, MatcherMLN)
+	smp := run(t, exp, SchemeSMP, MatcherMLN)
+	rep := exp.EvaluateAgainst(smp, full.Matches)
+	if rep.Soundness < 1 {
+		t.Errorf("SMP unsound vs FULL: %.4f", rep.Soundness)
+	}
+	if rep.Completeness <= 0 {
+		t.Errorf("bogus completeness %v", rep.Completeness)
+	}
+}

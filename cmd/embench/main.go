@@ -1,0 +1,80 @@
+// Command embench regenerates the paper's evaluation: every figure and
+// table of §6 and Appendix C, on synthetic corpora mirroring HEPTH, DBLP
+// and DBLP-BIG.
+//
+// Usage:
+//
+//	embench                      # run everything at the default scale
+//	embench -exp fig3a           # one experiment
+//	embench -scale 1.0 -seed 7   # bigger corpus, different seed
+//	embench -machines 30         # grid width for table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var runners = map[string]func(experiments.Config) (*experiments.Table, error){
+	"fig3a":    experiments.Fig3a,
+	"fig3b":    experiments.Fig3b,
+	"fig3c":    experiments.Fig3c,
+	"fig3d":    experiments.Fig3d,
+	"fig3e":    experiments.Fig3e,
+	"fig3f":    experiments.Fig3f,
+	"table1":   experiments.Table1,
+	"fig4a":    experiments.Fig4a,
+	"fig4b":    experiments.Fig4b,
+	"fig4c":    experiments.Fig4c,
+	"ablation": experiments.AblationCover,
+	"learning": experiments.LearnedWeights,
+	"scaling":  experiments.Scaling,
+}
+
+var order = []string{
+	"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+	"table1", "fig4a", "fig4b", "fig4c", "ablation", "learning", "scaling",
+}
+
+func main() {
+	cfg := experiments.Default()
+	var (
+		exp      = flag.String("exp", "all", "experiment id: all | fig3a..fig3f | table1 | fig4a..fig4c")
+		scale    = flag.Float64("scale", cfg.Scale, "corpus scale multiplier")
+		seed     = flag.Int64("seed", cfg.Seed, "generation seed")
+		machines = flag.Int("machines", cfg.Machines, "simulated grid machines (table1)")
+		overhead = flag.Duration("overhead", cfg.RoundOverhead, "per-round grid scheduling overhead (table1)")
+		exponent = flag.Float64("cost-exponent", cfg.CostExponent, "modeled inference-cost exponent")
+		steps    = flag.Int("fig3f-steps", cfg.Fig3fSteps, "prefix steps in fig3f")
+	)
+	flag.Parse()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Machines = *machines
+	cfg.RoundOverhead = *overhead
+	cfg.CostExponent = *exponent
+	cfg.Fig3fSteps = *steps
+
+	ids := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "embench: unknown experiment %q (want one of %v or all)\n", *exp, order)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := runners[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "embench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

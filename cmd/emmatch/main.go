@@ -1,0 +1,75 @@
+// Command emmatch runs one message-passing scheme with one matcher on a
+// dataset (read from a TSV file produced by emgen, or generated on the
+// fly) and prints the evaluation report.
+//
+// Usage:
+//
+//	emmatch -in hepth.tsv -scheme mmp -matcher mln
+//	emmatch -kind dblp -scale 0.5 -scheme smp -matcher rules -closure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cem "repro"
+	"repro/internal/bib"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "dataset TSV file (from emgen); empty to generate")
+		kind    = flag.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
+		scale   = flag.Float64("scale", 0.5, "generated corpus scale")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		scheme  = flag.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
+		matcher = flag.String("matcher", "mln", "matcher: mln | rules")
+		closure = flag.Bool("closure", false, "apply transitive closure to the output before scoring")
+		bcubed  = flag.Bool("bcubed", false, "also print the B-cubed cluster metric")
+		verbose = flag.Bool("v", false, "print run statistics")
+	)
+	flag.Parse()
+
+	var d *bib.Dataset
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		d, err = bib.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		d = cem.NewDataset(cem.DatasetKind(*kind), *scale, *seed)
+	}
+
+	exp, err := cem.Setup(d, cem.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := exp.Run(cem.Scheme(*scheme), cem.MatcherKind(*matcher))
+	if err != nil {
+		fatal(err)
+	}
+	if *closure {
+		res.Matches = exp.TransitiveClosure(res.Matches)
+	}
+	report := exp.Evaluate(res)
+	fmt.Printf("dataset %s: %s\n", d.Name, d.ComputeStats())
+	fmt.Printf("cover: %s\n", exp.Cover.ComputeStats())
+	fmt.Println(report)
+	if *bcubed {
+		fmt.Printf("B³:    %v\n", exp.EvaluateBCubed(res))
+	}
+	if *verbose {
+		fmt.Printf("stats: %s\n", res.Stats)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "emmatch: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Customrules: plug a custom Dedupalog*-style rule program into the
+// framework (the RULES matcher of Appendix B/C) and compare it, under
+// SMP, against the paper's default program. Demonstrates that ANY
+// well-behaved Type-I matcher scales with simple message passing — the
+// "Generic" property of §1 — and that SMP reproduces the FULL run
+// exactly for this matcher family.
+//
+// Run with:
+//
+//	go run ./examples/customrules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cem "repro"
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/similarity"
+)
+
+func main() {
+	dataset := cem.NewDataset(cem.HEPTH, 0.4, 13)
+	fmt.Printf("dataset: %s\n\n", dataset.ComputeStats())
+
+	exp, err := cem.Setup(dataset, cem.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rule programs to compare. Each rule reads: a pair at exactly this
+	// similarity level matches once at least MinCoauthorMatches coauthor
+	// pairs are matched.
+	programs := []struct {
+		name  string
+		rules []rules.Rule
+	}{
+		{"paper (3/2+1co/1+2co)", rules.PaperRules()},
+		{"strict (3+1co/2+2co)", []rules.Rule{
+			{Level: similarity.LevelStrong, MinCoauthorMatches: 1},
+			{Level: similarity.LevelMedium, MinCoauthorMatches: 2},
+		}},
+		{"lenient (3/2/1+1co)", []rules.Rule{
+			{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
+			{Level: similarity.LevelMedium, MinCoauthorMatches: 0},
+			{Level: similarity.LevelWeak, MinCoauthorMatches: 1},
+		}},
+	}
+
+	cands := make([]rules.Candidate, len(exp.Candidates))
+	for i, c := range exp.Candidates {
+		cands[i] = rules.Candidate{Pair: c.Pair, Level: c.Level}
+	}
+
+	for _, prog := range programs {
+		matcher, err := rules.New(exp.Dataset, cands, prog.rules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.Config{
+			Cover:    exp.Cover,
+			Matcher:  matcher,
+			Relation: exp.Dataset.Coauthor(),
+		}
+		smp := core.SMP(cfg)
+		full := core.Full(cfg)
+		rep := exp.EvaluateAgainst(smp, full.Matches)
+		fmt.Printf("%-22s SMP: P=%.3f R=%.3f F1=%.3f | equals FULL: %v\n",
+			prog.name, rep.PRF.Precision, rep.PRF.Recall, rep.PRF.F1,
+			smp.Matches.Equal(full.Matches))
+	}
+
+	fmt.Println("\nstricter rules trade recall for precision; in every case SMP")
+	fmt.Println("reproduces the FULL run — the framework is generic over the rule program.")
+}

@@ -1,0 +1,12 @@
+package cem
+
+import (
+	"time"
+
+	"repro/internal/grid"
+)
+
+// gridDefaults returns a small simulated grid for facade tests.
+func gridDefaults() grid.Config {
+	return grid.Config{Machines: 4, RoundOverhead: time.Millisecond, Seed: 1}
+}

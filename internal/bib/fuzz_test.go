@@ -1,0 +1,39 @@
+package bib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary input must never panic, and any dataset that
+// parses must validate and round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("# dataset x\nP\tt\t2000\t-\nR\t0\t0\tAlice Smith\n")
+	f.Add("P\ttitle\t1999\t0,1\n")
+	f.Add("R\t0\t0\tname\n")
+	f.Add("")
+	f.Add("# dataset y\nP\ta\t1\t-\nP\tb\t2\t0\nR\t1\t5\tX Y\nR\t0\t5\tX Z\n")
+	f.Add("P\tt\t2000\t-\nR\t0\t-1\tn\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid dataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("Write of parsed dataset failed: %v", err)
+		}
+		d2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(d2.Refs) != len(d.Refs) || len(d2.Papers) != len(d.Papers) {
+			t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+				len(d.Refs), len(d.Papers), len(d2.Refs), len(d2.Papers))
+		}
+	})
+}

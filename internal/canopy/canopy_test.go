@@ -1,0 +1,246 @@
+package canopy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/similarity"
+)
+
+func TestCanopiesCoverEveryName(t *testing.T) {
+	names := []string{
+		"Vibhor Rastogi", "V. Rastogi", "Nilesh Dalvi", "N. Dalvi",
+		"Minos Garofalakis", "Zzyzx Qwertyuiop",
+	}
+	sets := Canopies(names, DefaultConfig())
+	covered := make([]bool, len(names))
+	for _, s := range sets {
+		for _, e := range s {
+			covered[e] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Errorf("name %d (%q) not covered by any canopy", i, names[i])
+		}
+	}
+}
+
+func TestCanopiesGroupSimilarNames(t *testing.T) {
+	names := []string{
+		"Vibhor Rastogi", // 0
+		"V. Rastogi",     // 1
+		"Vibhor Rastogy", // 2 (typo)
+		"Nilesh Dalvi",   // 3
+	}
+	sets := Canopies(names, DefaultConfig())
+	share := func(a, b core.EntityID) bool {
+		for _, s := range sets {
+			hasA, hasB := false, false
+			for _, e := range s {
+				if e == a {
+					hasA = true
+				}
+				if e == b {
+					hasB = true
+				}
+			}
+			if hasA && hasB {
+				return true
+			}
+		}
+		return false
+	}
+	if !share(0, 1) || !share(0, 2) {
+		t.Error("similar names must share a canopy")
+	}
+	if share(0, 3) {
+		t.Error("dissimilar names must not share a canopy")
+	}
+}
+
+func TestCanopiesDeterministic(t *testing.T) {
+	names := []string{"A. Kumar", "Anil Kumar", "Amit Kumar", "B. Lee", "Bin Lee"}
+	a := Canopies(names, DefaultConfig())
+	b := Canopies(names, DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatalf("canopy counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("canopy %d sizes differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("canopy %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestExpandBoundary(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 3) // 3 is a coauthor of 0
+	b.AddEdge(1, 4)
+	rel := b.Build()
+	sets := [][]core.EntityID{{0, 1}, {2}}
+	out := ExpandBoundary(sets, rel)
+	if len(out[0]) != 4 { // {0,1} + boundary {3,4}
+		t.Errorf("expanded set 0 = %v", out[0])
+	}
+	if len(out[1]) != 1 { // isolated entity: unchanged
+		t.Errorf("expanded set 1 = %v", out[1])
+	}
+}
+
+// TestBuildCoverIsTotal: on generated data the built cover must be a
+// cover, and total w.r.t. the Coauthor relation (Definition 7).
+func TestBuildCoverIsTotal(t *testing.T) {
+	for _, preset := range []datagen.Config{
+		datagen.HEPTHLike(0.2, 3),
+		datagen.DBLPLike(0.2, 3),
+	} {
+		d := datagen.MustGenerate(preset)
+		cover := BuildCover(d, DefaultConfig())
+		if !cover.IsCover() {
+			t.Fatalf("%s: not a cover", preset.Name)
+		}
+		if !cover.IsTotal(d.Coauthor()) {
+			t.Fatalf("%s: cover not total w.r.t. Coauthor; uncovered edge %v",
+				preset.Name, cover.FirstUncovered(d.Coauthor()))
+		}
+	}
+}
+
+// TestBlockingIsTotalOverSimilar: canopies form a total cover of the
+// Similar relation — every pair of references with non-zero name level
+// shares a canopy. (Blocking recall; §4 calls this "blocking is a total
+// covering over the Similar relation".)
+func TestBlockingIsTotalOverSimilar(t *testing.T) {
+	d := datagen.MustGenerate(datagen.DBLPLike(0.15, 9))
+	names := make([]string, d.NumRefs())
+	for i := range d.Refs {
+		names[i] = d.Refs[i].Name
+	}
+	sets := Canopies(names, DefaultConfig())
+	inCanopy := make([]map[int]bool, len(names))
+	for i := range inCanopy {
+		inCanopy[i] = map[int]bool{}
+	}
+	for ci, s := range sets {
+		for _, e := range s {
+			inCanopy[e][ci] = true
+		}
+	}
+	share := func(a, b int) bool {
+		for c := range inCanopy[a] {
+			if inCanopy[b][c] {
+				return true
+			}
+		}
+		return false
+	}
+	missed, total := 0, 0
+	missedTrue, totalTrue := 0, 0
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if similarity.StringLevel(names[i], names[j]) == similarity.LevelNone {
+				continue
+			}
+			total++
+			isTrue := d.Refs[i].True == d.Refs[j].True
+			if isTrue {
+				totalTrue++
+			}
+			if !share(i, j) {
+				missed++
+				if isTrue {
+					missedTrue++
+				}
+			}
+		}
+	}
+	if total == 0 || totalTrue == 0 {
+		t.Fatal("no similar pairs generated; dataset too sparse for the test")
+	}
+	// Practical canopies may split a small tail of garbage similar pairs,
+	// but must essentially never block apart a true match.
+	if frac := float64(missed) / float64(total); frac > 0.05 {
+		t.Errorf("canopies miss %d/%d (%.3f) similar pairs", missed, total, frac)
+	}
+	if frac := float64(missedTrue) / float64(totalTrue); frac > 0.01 {
+		t.Errorf("canopies miss %d/%d (%.3f) TRUE similar pairs", missedTrue, totalTrue, frac)
+	}
+}
+
+// TestNeighborhoodRegimes: the HEPTH-like corpus must produce larger
+// average neighborhoods than the DBLP-like corpus (the §6.1 observation
+// that drives all the running-time differences).
+func TestNeighborhoodRegimes(t *testing.T) {
+	hep := datagen.MustGenerate(datagen.HEPTHLike(0.3, 5))
+	dbl := datagen.MustGenerate(datagen.DBLPLike(0.3, 5))
+	hepStats := BuildCover(hep, DefaultConfig()).ComputeStats()
+	dblStats := BuildCover(dbl, DefaultConfig()).ComputeStats()
+	if hepStats.MeanSize <= dblStats.MeanSize {
+		t.Errorf("HEPTH mean neighborhood %.1f must exceed DBLP %.1f",
+			hepStats.MeanSize, dblStats.MeanSize)
+	}
+}
+
+func TestCandidatePairs(t *testing.T) {
+	d := datagen.MustGenerate(datagen.DBLPLike(0.15, 4))
+	cover := BuildCover(d, DefaultConfig())
+	pairs := CandidatePairs(d, cover)
+	if len(pairs) == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	seen := core.NewPairSet()
+	for _, sp := range pairs {
+		if !sp.Pair.Valid() {
+			t.Fatalf("invalid pair %v", sp.Pair)
+		}
+		if sp.Level == similarity.LevelNone {
+			t.Fatalf("pair %v has level none", sp.Pair)
+		}
+		if seen.Has(sp.Pair) {
+			t.Fatalf("duplicate pair %v", sp.Pair)
+		}
+		seen.Add(sp.Pair)
+	}
+	// Candidate pairs must cover a decent share of true pairs (blocking
+	// recall at the pair level).
+	truth := d.TruePairs()
+	hit := 0
+	for p := range truth {
+		if seen.Has(core.MakePair(p[0], p[1])) {
+			hit++
+		}
+	}
+	if frac := float64(hit) / float64(len(truth)); frac < 0.7 {
+		t.Errorf("candidate pairs cover only %.2f of true pairs", frac)
+	}
+}
+
+func TestJaccardHelper(t *testing.T) {
+	a := map[string]int{"ab": 1, "bc": 1}
+	b := map[string]int{"bc": 1, "cd": 1}
+	if got := jaccard(a, b); got != 1.0/3.0 {
+		t.Errorf("jaccard = %v, want 1/3", got)
+	}
+	if jaccard(nil, nil) != 1 {
+		t.Error("jaccard(∅,∅) must be 1")
+	}
+	if jaccard(a, nil) != 0 {
+		t.Error("jaccard(a,∅) must be 0")
+	}
+}
+
+func BenchmarkBuildCoverHEPTH(b *testing.B) {
+	d := datagen.MustGenerate(datagen.HEPTHLike(0.5, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCover(d, DefaultConfig())
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Cover is a set of neighborhoods whose union is the entity set (§4).
+// Neighborhood i is the slice Sets[i]; entities may appear in several
+// neighborhoods (overlap is what lets simple messages propagate).
+type Cover struct {
+	Sets        [][]EntityID
+	NumEntities int
+
+	// containing[e] = ids of neighborhoods containing entity e, built by
+	// Index().
+	containing [][]int32
+}
+
+// NewCover wraps neighborhood sets over an entity universe of size n and
+// builds the containment index. Each neighborhood is sorted and deduped.
+func NewCover(n int, sets [][]EntityID) *Cover {
+	c := &Cover{Sets: make([][]EntityID, len(sets)), NumEntities: n}
+	for i, s := range sets {
+		dup := make([]EntityID, len(s))
+		copy(dup, s)
+		sort.Slice(dup, func(a, b int) bool { return dup[a] < dup[b] })
+		out := dup[:0]
+		for j, e := range dup {
+			if j > 0 && dup[j-1] == e {
+				continue
+			}
+			out = append(out, e)
+		}
+		c.Sets[i] = out
+	}
+	c.buildIndex()
+	return c
+}
+
+func (c *Cover) buildIndex() {
+	c.containing = make([][]int32, c.NumEntities)
+	for i, s := range c.Sets {
+		for _, e := range s {
+			c.containing[e] = append(c.containing[e], int32(i))
+		}
+	}
+}
+
+// Len returns the number of neighborhoods.
+func (c *Cover) Len() int { return len(c.Sets) }
+
+// Containing returns the ids of neighborhoods containing entity e.
+func (c *Cover) Containing(e EntityID) []int32 { return c.containing[e] }
+
+// IsCover verifies that every entity belongs to at least one neighborhood.
+func (c *Cover) IsCover() bool {
+	for e := 0; e < c.NumEntities; e++ {
+		if len(c.containing[e]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTotal verifies Definition 7 against a relation given as an undirected
+// graph: every relation edge must be fully contained in at least one
+// neighborhood.
+func (c *Cover) IsTotal(rel *graph.Graph) bool {
+	return c.FirstUncovered(rel) == [2]EntityID{-1, -1}
+}
+
+// FirstUncovered returns one relation edge not contained in any single
+// neighborhood, or {-1, -1} if the cover is total w.r.t. rel.
+func (c *Cover) FirstUncovered(rel *graph.Graph) [2]EntityID {
+	for u := int32(0); u < int32(rel.N()); u++ {
+		for _, v := range rel.Neighbors(u) {
+			if v < u {
+				continue
+			}
+			if !c.shareNeighborhood(u, v) {
+				return [2]EntityID{u, v}
+			}
+		}
+	}
+	return [2]EntityID{-1, -1}
+}
+
+func (c *Cover) shareNeighborhood(u, v EntityID) bool {
+	cu, cv := c.containing[u], c.containing[v]
+	i, j := 0, 0
+	for i < len(cu) && j < len(cv) {
+		switch {
+		case cu[i] == cv[j]:
+			return true
+		case cu[i] < cv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// MaxSize returns the size k of the largest neighborhood (the k of
+// Theorems 3 and 5).
+func (c *Cover) MaxSize() int {
+	k := 0
+	for _, s := range c.Sets {
+		if len(s) > k {
+			k = len(s)
+		}
+	}
+	return k
+}
+
+// Stats summarizes a cover.
+type CoverStats struct {
+	Neighborhoods int
+	MaxSize       int
+	MeanSize      float64
+	TotalEntries  int // Σ|Ci| (with multiplicity)
+}
+
+// ComputeStats gathers cover statistics.
+func (c *Cover) ComputeStats() CoverStats {
+	s := CoverStats{Neighborhoods: len(c.Sets)}
+	for _, set := range c.Sets {
+		s.TotalEntries += len(set)
+		if len(set) > s.MaxSize {
+			s.MaxSize = len(set)
+		}
+	}
+	if len(c.Sets) > 0 {
+		s.MeanSize = float64(s.TotalEntries) / float64(len(c.Sets))
+	}
+	return s
+}
+
+func (s CoverStats) String() string {
+	return fmt.Sprintf("neighborhoods=%d maxSize=%d meanSize=%.1f entries=%d",
+		s.Neighborhoods, s.MaxSize, s.MeanSize, s.TotalEntries)
+}
+
+// Affected computes Neighbor(·) of Algorithms 1 and 3: the ids of
+// neighborhoods whose runs may be affected by the given new matches. A
+// neighborhood is affected when it contains an endpoint of a new match or
+// an entity adjacent (in rel, typically the Coauthor graph) to an
+// endpoint — those are the neighborhoods whose effective evidence
+// changed. rel may be nil, in which case only containment applies.
+//
+// This over-approximates "input changed", which preserves convergence,
+// soundness and consistency (re-running an unaffected neighborhood is a
+// no-op for an idempotent matcher).
+func (c *Cover) Affected(newMatches []Pair, rel *graph.Graph) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	visit := func(e EntityID) {
+		for _, id := range c.containing[e] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	for _, p := range newMatches {
+		visit(p.A)
+		visit(p.B)
+		if rel != nil {
+			for _, u := range rel.Neighbors(p.A) {
+				visit(u)
+			}
+			for _, u := range rel.Neighbors(p.B) {
+				visit(u)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+// Matcher is the Type-I black-box abstraction (Definition 1): a function
+// E(E, V+, V−) from an entity subset and positive/negative evidence sets
+// to a set of matches. Implementations must be deterministic.
+//
+// A *well-behaved* matcher additionally satisfies idempotence
+// (Definition 2) and monotonicity (Definition 3); the framework's
+// soundness and consistency guarantees (Theorems 2 and 4) hold only for
+// well-behaved matchers, and internal/core's wellbehaved.go provides
+// checkers used by the matcher packages' test suites.
+type Matcher interface {
+	// Match runs the matcher on the given entities. pos is V+ (pairs known
+	// to match) and neg is V− (pairs known not to match); either may be
+	// nil. The result contains only valid (normalized, non-reflexive)
+	// pairs over the given entities, and must include pos restricted to
+	// those entities.
+	Match(entities []EntityID, pos, neg PairSet) PairSet
+
+	// Candidates enumerates the match variables the matcher would consider
+	// over the given entities (for the bibliographic matchers: the
+	// similarity-candidate pairs). COMPUTEMAXIMAL (Algorithm 2) and the UB
+	// oracle iterate over these.
+	Candidates(entities []EntityID) []Pair
+}
+
+// Probabilistic is the Type-II abstraction (Definition 5): a matcher
+// backed by a probability distribution over match sets. Match must return
+// (one of) the most probable set(s), preferring the largest on ties, with
+// evidence incorporated by conditioning.
+//
+// LogScore exposes the distribution: it returns the unnormalized
+// log-probability of an arbitrary match set S over the *full* entity
+// collection. Only score differences are ever used (MMP Step 7 compares
+// PE(M+ ∪ M) against PE(M+)), so the normalization constant is irrelevant
+// — this is exactly the "computing PE(S) for a specific S is very cheap"
+// property the paper's Algorithm 3 relies on.
+type Probabilistic interface {
+	Matcher
+
+	// LogScore returns log PE(S) + const for the global model.
+	LogScore(s PairSet) float64
+}
+
+// ConditionalDecider is an optional extension used by the UB oracle
+// (§6.1): DecideGiven reports whether pair p belongs to the matcher's
+// output when the truth value of every *other* pair is clamped to the
+// membership in given. For supermodular models this is a cheap local
+// computation.
+type ConditionalDecider interface {
+	DecideGiven(p Pair, given PairSet) bool
+}
+
+// ProbeFilter is an optional matcher extension used by COMPUTEMAXIMAL
+// (Algorithm 2) to skip candidate pairs that can never participate in a
+// useful maximal message — typically pairs whose score stays negative
+// under *any* evidence, or pairs with no interactions (their singleton
+// messages are subsumed by the evidence-driven re-evaluation SMP/MMP
+// already perform). Skipping such probes changes no output, only cost:
+// the probe set shrinks from k² to the pairs that can actually entail or
+// be entailed.
+type ProbeFilter interface {
+	Probeable(p Pair) bool
+}
+
+// DeltaScorer lets a Probabilistic matcher evaluate the promotion test of
+// Algorithm 3 Step 7 incrementally: ScoreSetDelta returns
+// LogScore(s ∪ add) − LogScore(s) without materializing the union. For
+// pairwise models this is O(|add|·deg) instead of O(|s|), which is what
+// keeps MMP's "computing PE(S) is very cheap" premise true at scale.
+type DeltaScorer interface {
+	ScoreSetDelta(add []Pair, s PairSet) float64
+}
+
+// MaximalMessenger lets a matcher supply a specialized implementation of
+// COMPUTEMAXIMAL (Algorithm 2). The semantics must match the generic
+// probe-based construction: msgs are the connected components of the
+// mutual-entailment graph over unmatched candidate pairs (singleton
+// components may be omitted — the schedulers drop them). calls reports
+// the number of conditioned inference runs for accounting.
+type MaximalMessenger interface {
+	MaximalMessages(entities []EntityID, mPlus, neg, base PairSet) (msgs [][]Pair, calls int)
+}
+
+// MatcherFunc adapts a function to the Matcher interface with candidate
+// enumeration delegated to a second function. Intended for tests.
+type MatcherFunc struct {
+	MatchFn      func(entities []EntityID, pos, neg PairSet) PairSet
+	CandidatesFn func(entities []EntityID) []Pair
+}
+
+// Match implements Matcher.
+func (m MatcherFunc) Match(entities []EntityID, pos, neg PairSet) PairSet {
+	return m.MatchFn(entities, pos, neg)
+}
+
+// Candidates implements Matcher.
+func (m MatcherFunc) Candidates(entities []EntityID) []Pair {
+	if m.CandidatesFn == nil {
+		return nil
+	}
+	return m.CandidatesFn(entities)
+}

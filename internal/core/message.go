@@ -1,0 +1,132 @@
+package core
+
+import (
+	"repro/internal/unionfind"
+)
+
+// MessageStore maintains the set T of maximal messages of Algorithm 3,
+// keeping it closed under the (T ∪ TC)* operation: overlapping messages
+// are replaced by their union (sound by Proposition 3(ii)). The closure
+// is maintained incrementally with a union-find keyed by pair.
+type MessageStore struct {
+	idOf  map[Pair]int
+	pairs []Pair
+	dsu   *unionfind.DSU
+}
+
+func NewMessageStore() *MessageStore {
+	return &MessageStore{idOf: map[Pair]int{}, dsu: unionfind.New(0)}
+}
+
+func (st *MessageStore) pairID(p Pair) int {
+	if id, ok := st.idOf[p]; ok {
+		return id
+	}
+	id := len(st.pairs)
+	st.idOf[p] = id
+	st.pairs = append(st.pairs, p)
+	st.dsu.Grow(id + 1)
+	return id
+}
+
+// Add inserts one maximal message (a set of correlated pairs) and merges
+// it with any overlapping messages already in the store.
+func (st *MessageStore) Add(msg []Pair) {
+	if len(msg) == 0 {
+		return
+	}
+	first := st.pairID(msg[0])
+	for _, p := range msg[1:] {
+		st.dsu.Union(first, st.pairID(p))
+	}
+}
+
+// Messages returns the current disjoint maximal messages, i.e. the
+// connected components of the store, in deterministic order.
+func (st *MessageStore) Messages() [][]Pair {
+	byRoot := map[int][]Pair{}
+	var rootOrder []int
+	for id, p := range st.pairs {
+		r := st.dsu.Find(id)
+		if _, ok := byRoot[r]; !ok {
+			rootOrder = append(rootOrder, r)
+		}
+		byRoot[r] = append(byRoot[r], p)
+	}
+	out := make([][]Pair, 0, len(rootOrder))
+	for _, r := range rootOrder {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// Size returns the number of distinct pairs currently carried by messages.
+func (st *MessageStore) Size() int { return len(st.pairs) }
+
+// ComputeMaximal is Algorithm 2: it derives the maximal messages of
+// neighborhood entities under current evidence mPlus. For each unmatched
+// candidate pair p it computes E(C, M+ ∪ {p}); two pairs are correlated
+// when each appears in the other's conditioned output, and the connected
+// components of the correlation graph are the maximal messages
+// (Lemma 1 proves each component is maximal for well-behaved matchers).
+//
+// base must be E(C, M+) — the unconditioned output — so that already-
+// matched pairs are excluded from probing. The number of matcher calls is
+// returned for accounting.
+func ComputeMaximal(m Matcher, entities []EntityID, mPlus, neg, base PairSet) (msgs [][]Pair, calls int) {
+	if mm, ok := m.(MaximalMessenger); ok {
+		return mm.MaximalMessages(entities, mPlus, neg, base)
+	}
+	filter, hasFilter := m.(ProbeFilter)
+	var probes []Pair
+	for _, p := range m.Candidates(entities) {
+		if base.Has(p) || mPlus.Has(p) || neg.Has(p) {
+			continue
+		}
+		if hasFilter && !filter.Probeable(p) {
+			continue
+		}
+		probes = append(probes, p)
+	}
+	if len(probes) == 0 {
+		return nil, 0
+	}
+
+	// outputs[i] = E(C, M+ ∪ {probes[i]})
+	outputs := make([]PairSet, len(probes))
+	for i, p := range probes {
+		outputs[i] = m.Match(entities, mPlus.WithPair(p), neg)
+		calls++
+	}
+
+	index := make(map[Pair]int, len(probes))
+	for i, p := range probes {
+		index[p] = i
+	}
+	dsu := unionfind.New(len(probes))
+	for i, p := range probes {
+		for q := range outputs[i] {
+			j, ok := index[q]
+			if !ok || j <= i {
+				continue
+			}
+			// Edge iff mutual entailment: q ∈ E(C, M+∪{p}) ∧ p ∈ E(C, M+∪{q}).
+			if outputs[j].Has(p) {
+				dsu.Union(i, j)
+			}
+		}
+	}
+	byRoot := map[int][]Pair{}
+	var order []int
+	for i, p := range probes {
+		r := dsu.Find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], p)
+	}
+	for _, r := range order {
+		msgs = append(msgs, byRoot[r])
+	}
+	return msgs, calls
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMessageStoreMergesOverlaps(t *testing.T) {
+	st := NewMessageStore()
+	p1, p2, p3, p4 := MakePair(0, 1), MakePair(2, 3), MakePair(4, 5), MakePair(6, 7)
+	st.Add([]Pair{p1, p2})
+	st.Add([]Pair{p3})
+	if got := st.Messages(); len(got) != 2 {
+		t.Fatalf("messages = %v, want 2 groups", got)
+	}
+	// Overlapping message merges the first group with a new pair.
+	st.Add([]Pair{p2, p4})
+	msgs := st.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("after merge, messages = %v, want 2 groups", msgs)
+	}
+	sizes := map[int]int{}
+	for _, m := range msgs {
+		sizes[len(m)]++
+	}
+	if sizes[3] != 1 || sizes[1] != 1 {
+		t.Fatalf("group sizes = %v, want one 3-group and one 1-group", sizes)
+	}
+	if st.Size() != 4 {
+		t.Errorf("Size = %d, want 4", st.Size())
+	}
+}
+
+func TestMessageStoreEmptyMessage(t *testing.T) {
+	st := NewMessageStore()
+	st.Add(nil)
+	if len(st.Messages()) != 0 {
+		t.Error("empty message must be ignored")
+	}
+}
+
+func TestMessageStoreIdempotentAdd(t *testing.T) {
+	st := NewMessageStore()
+	p1, p2 := MakePair(0, 1), MakePair(2, 3)
+	st.Add([]Pair{p1, p2})
+	st.Add([]Pair{p1, p2})
+	if got := st.Messages(); len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("messages = %v", got)
+	}
+}
+
+// chainMatcher is a minimal deterministic matcher for exercising
+// ComputeMaximal: candidates form a chain p0..p_{n-1}; matching any pair
+// entails matching the whole chain (all-or-nothing), but with no evidence
+// nothing is matched.
+type chainMatcher struct {
+	chain []Pair
+}
+
+func (c chainMatcher) Candidates(entities []EntityID) []Pair { return c.chain }
+
+func (c chainMatcher) Match(entities []EntityID, pos, neg PairSet) PairSet {
+	out := NewPairSet()
+	hit := false
+	for _, p := range c.chain {
+		if pos.Has(p) {
+			hit = true
+		}
+	}
+	if hit {
+		for _, p := range c.chain {
+			if !neg.Has(p) {
+				out.Add(p)
+			}
+		}
+	}
+	return out
+}
+
+func TestComputeMaximalChain(t *testing.T) {
+	chain := []Pair{MakePair(0, 1), MakePair(2, 3), MakePair(4, 5)}
+	m := chainMatcher{chain: chain}
+	base := m.Match([]EntityID{0, 1, 2, 3, 4, 5}, nil, nil)
+	if base.Len() != 0 {
+		t.Fatalf("base = %v, want empty", base.Sorted())
+	}
+	msgs, calls := ComputeMaximal(m, []EntityID{0, 1, 2, 3, 4, 5}, NewPairSet(), nil, base)
+	if calls != len(chain) {
+		t.Errorf("calls = %d, want %d", calls, len(chain))
+	}
+	if len(msgs) != 1 || len(msgs[0]) != 3 {
+		t.Fatalf("messages = %v, want one 3-element message", msgs)
+	}
+}
+
+func TestComputeMaximalSkipsMatched(t *testing.T) {
+	chain := []Pair{MakePair(0, 1), MakePair(2, 3)}
+	m := chainMatcher{chain: chain}
+	// Pretend both pairs are already matched: nothing to probe.
+	base := NewPairSet(chain...)
+	msgs, calls := ComputeMaximal(m, []EntityID{0, 1, 2, 3}, NewPairSet(), nil, base)
+	if calls != 0 || len(msgs) != 0 {
+		t.Fatalf("msgs=%v calls=%d, want none", msgs, calls)
+	}
+}
+
+// independentMatcher matches nothing and entails nothing: every candidate
+// is its own singleton maximal message.
+type independentMatcher struct{ cands []Pair }
+
+func (c independentMatcher) Candidates(entities []EntityID) []Pair { return c.cands }
+func (c independentMatcher) Match(entities []EntityID, pos, neg PairSet) PairSet {
+	out := NewPairSet()
+	for _, p := range c.cands {
+		if pos.Has(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+func TestComputeMaximalSingletons(t *testing.T) {
+	cands := []Pair{MakePair(0, 1), MakePair(2, 3), MakePair(4, 5)}
+	m := independentMatcher{cands: cands}
+	msgs, _ := ComputeMaximal(m, []EntityID{0, 1, 2, 3, 4, 5}, NewPairSet(), nil, NewPairSet())
+	if len(msgs) != 3 {
+		t.Fatalf("messages = %v, want 3 singletons", msgs)
+	}
+	for _, msg := range msgs {
+		if len(msg) != 1 {
+			t.Fatalf("message %v not a singleton", msg)
+		}
+	}
+}
+
+// asymmetricMatcher entails q from p but not p from q: no edge (the
+// definition requires mutual entailment).
+type asymmetricMatcher struct{ p, q Pair }
+
+func (c asymmetricMatcher) Candidates(entities []EntityID) []Pair { return []Pair{c.p, c.q} }
+func (c asymmetricMatcher) Match(entities []EntityID, pos, neg PairSet) PairSet {
+	out := NewPairSet()
+	if pos.Has(c.p) {
+		out.Add(c.p)
+		out.Add(c.q)
+	}
+	if pos.Has(c.q) {
+		out.Add(c.q)
+	}
+	return out
+}
+
+func TestComputeMaximalRequiresMutualEntailment(t *testing.T) {
+	m := asymmetricMatcher{p: MakePair(0, 1), q: MakePair(2, 3)}
+	msgs, _ := ComputeMaximal(m, []EntityID{0, 1, 2, 3}, NewPairSet(), nil, NewPairSet())
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %v, want 2 singletons (entailment not mutual)", msgs)
+	}
+}
+
+// TestProposition3 verifies the two claims of Proposition 3 on the
+// definitional level, using the chain matcher whose full-run output under
+// any seed evidence is all-or-nothing:
+// (i) subsets of maximal messages are maximal; (ii) overlapping unions.
+func TestProposition3(t *testing.T) {
+	chain := []Pair{MakePair(0, 1), MakePair(2, 3), MakePair(4, 5)}
+	m := chainMatcher{chain: chain}
+	entities := []EntityID{0, 1, 2, 3, 4, 5}
+	full := m.Match(entities, nil, nil) // empty: no seed evidence
+
+	isMaximal := func(msg []Pair) bool {
+		inside, outside := 0, 0
+		for _, p := range msg {
+			if full.Has(p) {
+				inside++
+			} else {
+				outside++
+			}
+		}
+		return inside == 0 || outside == 0
+	}
+	whole := chain
+	if !isMaximal(whole) {
+		t.Fatal("whole chain must be maximal")
+	}
+	// (i) every subset is maximal.
+	for mask := 0; mask < 1<<len(whole); mask++ {
+		var sub []Pair
+		for i, p := range whole {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, p)
+			}
+		}
+		if !isMaximal(sub) {
+			t.Fatalf("subset %v not maximal", sub)
+		}
+	}
+	// (ii) overlapping maximal messages have maximal union.
+	m1 := []Pair{chain[0], chain[1]}
+	m2 := []Pair{chain[1], chain[2]}
+	if !isMaximal(append(append([]Pair{}, m1...), m2...)) {
+		t.Fatal("union of overlapping maximal messages not maximal")
+	}
+}

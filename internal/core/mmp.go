@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// MMP is the maximal message-passing scheme (Algorithm 3). It requires a
+// Type-II (Probabilistic) matcher: besides exchanging found matches like
+// SMP, every neighborhood evaluation derives *maximal messages* —
+// all-or-nothing sets of correlated pairs (Definition 8, computed by
+// Algorithm 2) — which are merged across neighborhoods and promoted to
+// real matches as soon as the global model's probability does not
+// decrease (Step 7: PE(M+ ∪ M) ≥ PE(M+)).
+//
+// For a supermodular Type-II matcher, MMP converges and is sound and
+// consistent (Theorem 4) in time O(k⁴·f(k)·n) (Theorem 5).
+func MMP(cfg Config) (*Result, error) {
+	prob, ok := cfg.Matcher.(Probabilistic)
+	if !ok {
+		return nil, fmt.Errorf("core: MMP requires a Probabilistic (Type-II) matcher, got %T", cfg.Matcher)
+	}
+
+	start := time.Now()
+	res := &Result{Scheme: "MMP", Matches: NewPairSet()}
+	res.Stats.Neighborhoods = cfg.Cover.Len()
+
+	active := queueFor(cfg)
+	visits := make([]int, cfg.Cover.Len())
+	mPlus := res.Matches
+	store := NewMessageStore()
+
+	for {
+		id, ok := active.pop()
+		if !ok {
+			break
+		}
+		visits[id]++
+		res.Stats.Evaluations++
+		entities := cfg.Cover.Sets[id]
+		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes,
+			activeDecisions(cfg.Matcher, entities, mPlus))
+
+		// Step 5: matches and maximal messages of this neighborhood.
+		t0 := time.Now()
+		mc := prob.Match(entities, mPlus, cfg.Negative)
+		res.Stats.MatcherCalls++
+		msgs, calls := ComputeMaximal(prob, entities, mPlus, cfg.Negative, mc)
+		res.Stats.MatcherCalls += calls
+		res.Stats.MatcherTime += time.Since(t0)
+		res.Stats.MaximalMessages += len(msgs)
+
+		newMatches := collectNew(mc, mPlus)
+		for _, p := range newMatches {
+			mPlus.Add(p)
+		}
+		// Step 6: T = (T ∪ TC)*. Singleton messages are dropped: a
+		// singleton {p} promotes exactly when p's conditional gain turns
+		// non-negative, which the evidence-driven re-evaluation of p's
+		// neighborhood derives anyway (monotonicity); keeping them only
+		// bloats T.
+		for _, msg := range msgs {
+			if len(msg) >= 2 {
+				store.Add(msg)
+			}
+		}
+
+		// Step 7: promote sound maximal messages until fixpoint.
+		promoted := promoteMessages(prob, store, mPlus, &res.Stats)
+		newMatches = append(newMatches, promoted...)
+
+		// Step 8: re-activate affected neighborhoods.
+		if len(newMatches) > 0 {
+			affected := cfg.Cover.Affected(newMatches, cfg.Relation)
+			for _, a := range affected {
+				active.push(a)
+			}
+			res.Stats.MessagesSent += len(affected)
+		}
+	}
+
+	for _, v := range visits {
+		if v > res.Stats.MaxRevisits {
+			res.Stats.MaxRevisits = v
+		}
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// promoteMessages repeatedly scans the message store for a message M with
+// PE(M+ ∪ M) ≥ PE(M+), adds it to mPlus, and rescans (a promotion can
+// unlock further promotions). The newly promoted pairs are returned.
+// Soundness: by supermodularity, PE(M+∪M) ≥ PE(M+) with sound M+ implies
+// M ⊆ E(E) (proof of Theorem 4).
+func promoteMessages(prob Probabilistic, store *MessageStore, mPlus PairSet, stats *RunStats) []Pair {
+	return promoteMessagesImpl(prob, store, mPlus, stats)
+}
+
+// PromoteMessages is Step 7 of Algorithm 3 exposed for alternative
+// schedulers (the grid executor's Reduce phase). The newly promoted pairs
+// are returned.
+func PromoteMessages(prob Probabilistic, store *MessageStore, mPlus PairSet) []Pair {
+	var stats RunStats
+	return promoteMessagesImpl(prob, store, mPlus, &stats)
+}
+
+func promoteMessagesImpl(prob Probabilistic, store *MessageStore, mPlus PairSet, stats *RunStats) []Pair {
+	// The promotion test PE(M+ ∪ M) ≥ PE(M+) is a score-delta sign test.
+	// Prefer the matcher's incremental delta when available; otherwise
+	// fall back to two full LogScore evaluations.
+	delta := func(missing []Pair) float64 {
+		if ds, ok := prob.(DeltaScorer); ok {
+			return ds.ScoreSetDelta(missing, mPlus)
+		}
+		candidate := mPlus.Clone()
+		for _, p := range missing {
+			candidate.Add(p)
+		}
+		return prob.LogScore(candidate) - prob.LogScore(mPlus)
+	}
+
+	var promotedPairs []Pair
+	for {
+		again := false
+		for _, msg := range store.Messages() {
+			// Skip messages already subsumed by the match set.
+			missing := msg[:0:0]
+			for _, p := range msg {
+				if !mPlus.Has(p) {
+					missing = append(missing, p)
+				}
+			}
+			if len(missing) == 0 {
+				continue
+			}
+			stats.ScoreChecks++
+			if delta(missing) >= 0 {
+				for _, p := range missing {
+					mPlus.Add(p)
+					promotedPairs = append(promotedPairs, p)
+				}
+				stats.PromotedSets++
+				again = true
+			}
+		}
+		if !again {
+			break
+		}
+	}
+	return promotedPairs
+}

@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestWorkQueueLIFO(t *testing.T) {
+	q := newWorkQueue(3, OrderLIFO, []int{1, 1, 1})
+	want := []int32{2, 1, 0}
+	for _, w := range want {
+		id, ok := q.pop()
+		if !ok || id != w {
+			t.Fatalf("pop = %d,%v want %d", id, ok, w)
+		}
+	}
+	if !q.empty() {
+		t.Error("queue not drained")
+	}
+}
+
+func TestWorkQueueSizeOrders(t *testing.T) {
+	sizes := []int{5, 1, 3}
+	q := newWorkQueue(3, OrderSmallestFirst, sizes)
+	want := []int32{1, 2, 0}
+	for _, w := range want {
+		if id, _ := q.pop(); id != w {
+			t.Fatalf("smallest-first order wrong: got %d want %d", id, w)
+		}
+	}
+	q = newWorkQueue(3, OrderLargestFirst, sizes)
+	want = []int32{0, 2, 1}
+	for _, w := range want {
+		if id, _ := q.pop(); id != w {
+			t.Fatalf("largest-first order wrong: got %d want %d", id, w)
+		}
+	}
+}
+
+func TestWorkQueueRequeueUnderLIFO(t *testing.T) {
+	q := newWorkQueue(2, OrderLIFO, []int{1, 1})
+	id, _ := q.pop() // 1
+	if id != 1 {
+		t.Fatalf("first pop = %d", id)
+	}
+	q.push(1) // re-activate: should come out before 0 under LIFO
+	if id, _ := q.pop(); id != 1 {
+		t.Fatalf("requeued id not popped first: %d", id)
+	}
+}

@@ -1,0 +1,152 @@
+// Package core implements the paper's scaling framework: the black-box
+// matcher abstractions (§3), covers over entity sets (§4), and the
+// message-passing schemes NO-MP, SMP (Algorithm 1) and MMP (Algorithms 2
+// and 3) together with the UB oracle of §6.1.
+//
+// The framework is generic over the entity domain: entities are dense
+// int32 ids, and matchers are black boxes satisfying the Matcher (Type-I)
+// or Probabilistic (Type-II) interfaces.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntityID identifies an entity. Ids are dense in [0, n).
+type EntityID = int32
+
+// Pair is an unordered pair of entities, normalized so A < B. Construct
+// with MakePair to maintain the invariant.
+type Pair struct {
+	A, B EntityID
+}
+
+// MakePair returns the normalized pair {a, b}.
+func MakePair(a, b EntityID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// Valid reports whether the pair is normalized and non-reflexive.
+func (p Pair) Valid() bool { return p.A < p.B }
+
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
+
+// PairSet is a set of normalized pairs. The nil map is a valid empty set
+// for reading; use NewPairSet or Add (on a non-nil set) to build one.
+type PairSet map[Pair]struct{}
+
+// NewPairSet returns an empty set, optionally seeded with pairs.
+func NewPairSet(pairs ...Pair) PairSet {
+	s := make(PairSet, len(pairs))
+	for _, p := range pairs {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts p (normalizing is the caller's job via MakePair).
+func (s PairSet) Add(p Pair) { s[p] = struct{}{} }
+
+// Has reports membership. Safe on a nil set.
+func (s PairSet) Has(p Pair) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Len returns the cardinality. Safe on a nil set.
+func (s PairSet) Len() int { return len(s) }
+
+// AddAll inserts every pair of t into s and returns the number of pairs
+// that were actually new.
+func (s PairSet) AddAll(t PairSet) int {
+	added := 0
+	for p := range t {
+		if !s.Has(p) {
+			s.Add(p)
+			added++
+		}
+	}
+	return added
+}
+
+// Clone returns an independent copy.
+func (s PairSet) Clone() PairSet {
+	out := make(PairSet, len(s))
+	for p := range s {
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+// Union returns a new set s ∪ t.
+func (s PairSet) Union(t PairSet) PairSet {
+	out := s.Clone()
+	out.AddAll(t)
+	return out
+}
+
+// Minus returns a new set s \ t.
+func (s PairSet) Minus(t PairSet) PairSet {
+	out := NewPairSet()
+	for p := range s {
+		if !t.Has(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Intersect returns a new set s ∩ t.
+func (s PairSet) Intersect(t PairSet) PairSet {
+	if t.Len() < s.Len() {
+		s, t = t, s
+	}
+	out := NewPairSet()
+	for p := range s {
+		if t.Has(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Subset reports whether s ⊆ t.
+func (s PairSet) Subset(t PairSet) bool {
+	for p := range s {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s PairSet) Equal(t PairSet) bool {
+	return s.Len() == t.Len() && s.Subset(t)
+}
+
+// Sorted returns the pairs in deterministic (A, then B) order.
+func (s PairSet) Sorted() []Pair {
+	out := make([]Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// WithPair returns a new set s ∪ {p}; s is unchanged.
+func (s PairSet) WithPair(p Pair) PairSet {
+	out := s.Clone()
+	out.Add(p)
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakePairNormalizes(t *testing.T) {
+	if MakePair(3, 1) != (Pair{1, 3}) {
+		t.Error("MakePair must normalize order")
+	}
+	if MakePair(1, 3) != (Pair{1, 3}) {
+		t.Error("MakePair must keep sorted order")
+	}
+	if !MakePair(1, 3).Valid() {
+		t.Error("normalized pair must be valid")
+	}
+	if MakePair(2, 2).Valid() {
+		t.Error("reflexive pair must be invalid")
+	}
+	if MakePair(1, 2).String() != "(1,2)" {
+		t.Errorf("String = %q", MakePair(1, 2).String())
+	}
+}
+
+func TestPairSetBasics(t *testing.T) {
+	s := NewPairSet(MakePair(1, 2), MakePair(3, 4))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(MakePair(2, 1)) {
+		t.Error("Has must see normalized membership")
+	}
+	if s.Has(MakePair(1, 3)) {
+		t.Error("phantom membership")
+	}
+	var nilSet PairSet
+	if nilSet.Has(MakePair(1, 2)) || nilSet.Len() != 0 {
+		t.Error("nil set must behave as empty")
+	}
+}
+
+func TestPairSetAlgebra(t *testing.T) {
+	a := NewPairSet(MakePair(1, 2), MakePair(3, 4))
+	b := NewPairSet(MakePair(3, 4), MakePair(5, 6))
+
+	u := a.Union(b)
+	if u.Len() != 3 {
+		t.Errorf("union len = %d", u.Len())
+	}
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Error("Union must not mutate operands")
+	}
+
+	m := a.Minus(b)
+	if m.Len() != 1 || !m.Has(MakePair(1, 2)) {
+		t.Errorf("minus = %v", m.Sorted())
+	}
+
+	i := a.Intersect(b)
+	if i.Len() != 1 || !i.Has(MakePair(3, 4)) {
+		t.Errorf("intersect = %v", i.Sorted())
+	}
+
+	if !m.Subset(a) || a.Subset(m) {
+		t.Error("subset relations wrong")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must be equal")
+	}
+	c := a.Clone()
+	c.Add(MakePair(9, 10))
+	if a.Has(MakePair(9, 10)) {
+		t.Error("clone must be independent")
+	}
+
+	w := a.WithPair(MakePair(7, 8))
+	if !w.Has(MakePair(7, 8)) || a.Has(MakePair(7, 8)) {
+		t.Error("WithPair must copy")
+	}
+}
+
+func TestAddAllCountsNew(t *testing.T) {
+	a := NewPairSet(MakePair(1, 2))
+	b := NewPairSet(MakePair(1, 2), MakePair(3, 4))
+	if n := a.AddAll(b); n != 1 {
+		t.Errorf("AddAll returned %d, want 1", n)
+	}
+	if a.Len() != 2 {
+		t.Errorf("a.Len = %d", a.Len())
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	s := NewPairSet(MakePair(5, 6), MakePair(1, 9), MakePair(1, 2), MakePair(3, 4))
+	got := s.Sorted()
+	want := []Pair{{1, 2}, {1, 9}, {3, 4}, {5, 6}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: Union/Minus/Intersect satisfy |A∪B| = |A| + |B| − |A∩B| and
+// A\B ∪ A∩B = A.
+func TestSetIdentities(t *testing.T) {
+	f := func(raw []uint8) bool {
+		a, b := NewPairSet(), NewPairSet()
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := MakePair(EntityID(raw[i]%8), EntityID(raw[i+1]%8))
+			if !p.Valid() {
+				continue
+			}
+			if i%4 == 0 {
+				a.Add(p)
+			} else {
+				b.Add(p)
+			}
+		}
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			return false
+		}
+		return a.Minus(b).Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result is the outcome of running a message-passing scheme.
+type Result struct {
+	Scheme  string
+	Matches PairSet
+	Stats   RunStats
+}
+
+// RunStats instruments a run; the Theorem 3/5 complexity bounds are
+// checked against these counters in tests, and the experiment harness
+// reports them.
+type RunStats struct {
+	Neighborhoods   int           // number of neighborhoods in the cover
+	MatcherCalls    int           // calls to Matcher.Match
+	Evaluations     int           // neighborhood evaluations by the scheduler
+	MaxRevisits     int           // max times any single neighborhood was evaluated
+	MessagesSent    int           // evidence deltas that re-activated neighborhoods
+	MaximalMessages int           // maximal messages generated (MMP only)
+	PromotedSets    int           // maximal messages promoted to matches (MMP only)
+	ScoreChecks     int           // LogScore comparisons (MMP only)
+	Elapsed         time.Duration // wall-clock time of the run
+	MatcherTime     time.Duration // time spent inside Matcher.Match
+
+	// ActiveSizes records, for every neighborhood evaluation, the number
+	// of *active* matching decisions: in-scope candidate pairs not yet in
+	// the evidence set. This is the quantity §6.2 credits for SMP/MMP
+	// running *faster* than NO-MP ("messages often reduce the active size
+	// of the neighborhoods"), and the input to the experiment harness's
+	// inference-cost model.
+	ActiveSizes []int
+}
+
+// TotalActive sums the active decisions across all evaluations.
+func (s *RunStats) TotalActive() int {
+	total := 0
+	for _, a := range s.ActiveSizes {
+		total += a
+	}
+	return total
+}
+
+func (s RunStats) String() string {
+	return fmt.Sprintf("n=%d evals=%d calls=%d maxRevisit=%d msgs=%d maximal=%d promoted=%d elapsed=%v",
+		s.Neighborhoods, s.Evaluations, s.MatcherCalls, s.MaxRevisits,
+		s.MessagesSent, s.MaximalMessages, s.PromotedSets, s.Elapsed)
+}
+
+// Order selects the scheduling discipline of the active set A in
+// Algorithms 1 and 3. The choice is immaterial for correctness —
+// Theorems 2 and 4 guarantee the output is order-invariant for
+// well-behaved matchers (and the test suite verifies this across all
+// disciplines) — but it can shift how quickly evidence accumulates and
+// therefore the number of re-evaluations.
+type Order int
+
+const (
+	// OrderFIFO processes neighborhoods in arrival order (default).
+	OrderFIFO Order = iota
+	// OrderLIFO processes the most recently activated neighborhood first
+	// (depth-first evidence propagation).
+	OrderLIFO
+	// OrderSmallestFirst prefers small neighborhoods — cheap evidence
+	// early, the heuristic behind "process the easy blocks first".
+	OrderSmallestFirst
+	// OrderLargestFirst prefers large neighborhoods — most evidence per
+	// evaluation.
+	OrderLargestFirst
+)
+
+// workQueue is a scheduling queue over neighborhood ids with set
+// semantics: a neighborhood already queued is not enqueued twice.
+type workQueue struct {
+	order  Order
+	sizes  []int // neighborhood sizes for size-based disciplines
+	queue  []int32
+	queued []bool
+}
+
+func newWorkQueue(n int, order Order, sizes []int) *workQueue {
+	q := &workQueue{
+		order:  order,
+		sizes:  sizes,
+		queue:  make([]int32, 0, n),
+		queued: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		q.push(int32(i))
+	}
+	return q
+}
+
+// queueFor builds the scheduler's active set from a Config.
+func queueFor(cfg Config) *workQueue {
+	sizes := make([]int, cfg.Cover.Len())
+	for i, set := range cfg.Cover.Sets {
+		sizes[i] = len(set)
+	}
+	return newWorkQueue(cfg.Cover.Len(), cfg.Order, sizes)
+}
+
+func (q *workQueue) push(id int32) {
+	if !q.queued[id] {
+		q.queued[id] = true
+		q.queue = append(q.queue, id)
+	}
+}
+
+func (q *workQueue) pop() (int32, bool) {
+	if len(q.queue) == 0 {
+		return 0, false
+	}
+	at := 0
+	switch q.order {
+	case OrderLIFO:
+		at = len(q.queue) - 1
+	case OrderSmallestFirst:
+		for i := 1; i < len(q.queue); i++ {
+			if q.sizes[q.queue[i]] < q.sizes[q.queue[at]] {
+				at = i
+			}
+		}
+	case OrderLargestFirst:
+		for i := 1; i < len(q.queue); i++ {
+			if q.sizes[q.queue[i]] > q.sizes[q.queue[at]] {
+				at = i
+			}
+		}
+	}
+	id := q.queue[at]
+	q.queue = append(q.queue[:at], q.queue[at+1:]...)
+	q.queued[id] = false
+	return id, true
+}
+
+func (q *workQueue) empty() bool { return len(q.queue) == 0 }

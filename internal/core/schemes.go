@@ -1,0 +1,148 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config describes one framework run: the cover, the black-box matcher,
+// and the relation graph used by Neighbor(·) to find affected
+// neighborhoods (typically the Coauthor graph; may be nil).
+type Config struct {
+	Cover    *Cover
+	Matcher  Matcher
+	Relation *graph.Graph
+
+	// Negative is the initial V− evidence (Definition 1): pairs known NOT
+	// to match, passed to every matcher invocation. For well-behaved
+	// matchers, growing this set can only shrink the output
+	// (Definition 3(iii)). May be nil.
+	Negative PairSet
+
+	// Order is the scheduling discipline of the active set (default
+	// FIFO). Output is order-invariant for well-behaved matchers.
+	Order Order
+}
+
+// NoMP runs the matcher once on every neighborhood independently and
+// unions the results — the NO-MP baseline of §6. No evidence flows
+// between neighborhoods.
+func NoMP(cfg Config) *Result {
+	start := time.Now()
+	res := &Result{Scheme: "NO-MP", Matches: NewPairSet()}
+	res.Stats.Neighborhoods = cfg.Cover.Len()
+	for _, entities := range cfg.Cover.Sets {
+		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes,
+			activeDecisions(cfg.Matcher, entities, nil))
+		t0 := time.Now()
+		mc := cfg.Matcher.Match(entities, nil, cfg.Negative)
+		res.Stats.MatcherTime += time.Since(t0)
+		res.Stats.MatcherCalls++
+		res.Stats.Evaluations++
+		res.Matches.AddAll(mc)
+	}
+	res.Stats.MaxRevisits = 1
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// Full runs the matcher once on the entire entity set — the FULL
+// reference of Appendix C (feasible only for cheap matchers).
+func Full(cfg Config) *Result {
+	start := time.Now()
+	all := make([]EntityID, cfg.Cover.NumEntities)
+	for i := range all {
+		all[i] = EntityID(i)
+	}
+	res := &Result{Scheme: "FULL"}
+	res.Stats.ActiveSizes = []int{activeDecisions(cfg.Matcher, all, nil)}
+	t0 := time.Now()
+	res.Matches = cfg.Matcher.Match(all, nil, cfg.Negative)
+	res.Stats.MatcherTime = time.Since(t0)
+	res.Stats.Neighborhoods = 1
+	res.Stats.MatcherCalls = 1
+	res.Stats.Evaluations = 1
+	res.Stats.MaxRevisits = 1
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// SMP is the simple message-passing scheme (Algorithm 1). The matches
+// found so far are passed as positive evidence to every subsequent
+// neighborhood run; neighborhoods affected by new matches are
+// re-activated until fixpoint.
+//
+// For a well-behaved matcher, SMP converges, is sound (output ⊆ E(E))
+// and consistent (output independent of evaluation order) — Theorem 2 —
+// in time O(k²·f(k)·n) — Theorem 3.
+func SMP(cfg Config) *Result {
+	start := time.Now()
+	res := &Result{Scheme: "SMP", Matches: NewPairSet()}
+	res.Stats.Neighborhoods = cfg.Cover.Len()
+
+	active := queueFor(cfg)
+	visits := make([]int, cfg.Cover.Len())
+	mPlus := res.Matches
+
+	for {
+		id, ok := active.pop()
+		if !ok {
+			break
+		}
+		visits[id]++
+		res.Stats.Evaluations++
+		entities := cfg.Cover.Sets[id]
+		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes,
+			activeDecisions(cfg.Matcher, entities, mPlus))
+
+		t0 := time.Now()
+		mc := cfg.Matcher.Match(entities, mPlus, cfg.Negative)
+		res.Stats.MatcherTime += time.Since(t0)
+		res.Stats.MatcherCalls++
+
+		newMatches := collectNew(mc, mPlus)
+		if len(newMatches) == 0 {
+			continue
+		}
+		for _, p := range newMatches {
+			mPlus.Add(p)
+		}
+		affected := cfg.Cover.Affected(newMatches, cfg.Relation)
+		for _, a := range affected {
+			active.push(a)
+		}
+		res.Stats.MessagesSent += len(affected)
+	}
+
+	for _, v := range visits {
+		if v > res.Stats.MaxRevisits {
+			res.Stats.MaxRevisits = v
+		}
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// activeDecisions counts the in-scope candidate pairs not yet decided by
+// the evidence — the neighborhood's effective inference size.
+func activeDecisions(m Matcher, entities []EntityID, evidence PairSet) int {
+	active := 0
+	for _, p := range m.Candidates(entities) {
+		if !evidence.Has(p) {
+			active++
+		}
+	}
+	return active
+}
+
+// collectNew returns the pairs of mc missing from mPlus.
+func collectNew(mc, mPlus PairSet) []Pair {
+	var out []Pair
+	for p := range mc {
+		if !mPlus.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// UB computes the upper-bound oracle of §6.1: for every candidate pair p
+// over the full entity set, the matcher decides p while the truth values
+// of *all other pairs* are clamped to the ground truth. For a
+// supermodular matcher the result provably contains every match the full
+// run E(E) could produce, so its recall upper-bounds the full run's
+// recall. It is not an algorithm (it consumes the ground truth) — it is
+// the reference the paper's completeness measurements are made against.
+//
+// The matcher must implement ConditionalDecider.
+func UB(cfg Config, truth PairSet) (*Result, error) {
+	dec, ok := cfg.Matcher.(ConditionalDecider)
+	if !ok {
+		return nil, fmt.Errorf("core: UB requires a ConditionalDecider matcher, got %T", cfg.Matcher)
+	}
+	start := time.Now()
+	res := &Result{Scheme: "UB", Matches: NewPairSet()}
+	res.Stats.Neighborhoods = cfg.Cover.Len()
+
+	all := make([]EntityID, cfg.Cover.NumEntities)
+	for i := range all {
+		all[i] = EntityID(i)
+	}
+	for _, p := range cfg.Matcher.Candidates(all) {
+		res.Stats.MatcherCalls++
+		if dec.DecideGiven(p, truth) {
+			res.Matches.Add(p)
+		}
+	}
+	res.Stats.Evaluations = 1
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}

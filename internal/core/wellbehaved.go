@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// This file provides executable checks of the §3 matcher contracts.
+// Matcher packages run these in their test suites (and the framework's
+// own property tests use them against mock matchers); they are part of
+// the public contract of the framework: Theorems 2 and 4 only hold for
+// matchers that pass them.
+
+// CheckIdempotence verifies Definition 2 on one input: with
+// O = E(E, V+, V−), it must hold that E(E, O, V−) = O.
+func CheckIdempotence(m Matcher, entities []EntityID, pos, neg PairSet) error {
+	out := m.Match(entities, pos, neg)
+	again := m.Match(entities, out, neg)
+	if !again.Equal(out) {
+		return fmt.Errorf("idempotence violated: |E(E,V+,V-)| = %d but |E(E,O,V-)| = %d",
+			out.Len(), again.Len())
+	}
+	return nil
+}
+
+// CheckMonotoneEntities verifies Definition 3(i) on one input pair:
+// for sub ⊆ super, E(sub, V+, V−) ⊆ E(super, V+, V−).
+func CheckMonotoneEntities(m Matcher, sub, super []EntityID, pos, neg PairSet) error {
+	small := m.Match(sub, pos, neg)
+	big := m.Match(super, pos, neg)
+	if !small.Subset(big) {
+		return fmt.Errorf("entity monotonicity violated: %v ⊄ %v",
+			small.Minus(big).Sorted(), big.Sorted())
+	}
+	return nil
+}
+
+// CheckMonotonePositive verifies Definition 3(ii): for pos ⊆ pos',
+// E(E, pos, V−) ⊆ E(E, pos', V−).
+func CheckMonotonePositive(m Matcher, entities []EntityID, pos, posBig, neg PairSet) error {
+	small := m.Match(entities, pos, neg)
+	big := m.Match(entities, posBig, neg)
+	if !small.Subset(big) {
+		return fmt.Errorf("positive-evidence monotonicity violated: missing %v",
+			small.Minus(big).Sorted())
+	}
+	return nil
+}
+
+// CheckMonotoneNegative verifies Definition 3(iii): for neg ⊆ neg',
+// E(E, V+, neg') ⊆ E(E, V+, neg).
+func CheckMonotoneNegative(m Matcher, entities []EntityID, pos, neg, negBig PairSet) error {
+	small := m.Match(entities, pos, negBig)
+	big := m.Match(entities, pos, neg)
+	if !small.Subset(big) {
+		return fmt.Errorf("negative-evidence monotonicity violated: extra %v",
+			small.Minus(big).Sorted())
+	}
+	return nil
+}
+
+// CheckSupermodular verifies Definition 6 on one (S ⊆ T, p) triple in log
+// space: log PE(T ∪ {p}) − log PE(T) ≥ log PE(S ∪ {p}) − log PE(S) − tol.
+func CheckSupermodular(prob Probabilistic, s, t PairSet, p Pair, tol float64) error {
+	if !s.Subset(t) {
+		return fmt.Errorf("CheckSupermodular misuse: S ⊄ T")
+	}
+	if t.Has(p) {
+		// p ∈ T makes the T-side ratio degenerate (T ∪ {p} = T); the
+		// definition is about adding a new pair, so the case is vacuous.
+		return nil
+	}
+	deltaT := prob.LogScore(t.WithPair(p)) - prob.LogScore(t)
+	deltaS := prob.LogScore(s.WithPair(p)) - prob.LogScore(s)
+	if deltaT < deltaS-tol {
+		return fmt.Errorf("supermodularity violated at %v: ΔT = %v < ΔS = %v", p, deltaT, deltaS)
+	}
+	return nil
+}

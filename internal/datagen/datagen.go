@@ -1,0 +1,250 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bib"
+)
+
+// Config controls synthesis of one bibliography dataset.
+type Config struct {
+	Name string
+	Seed int64
+
+	NumAuthors int // distinct ground-truth authors
+	NumPapers  int // papers; references ≈ NumPapers · mean authors/paper
+
+	// Authors per paper are drawn uniformly from [MinAuthors, MaxAuthors].
+	MinAuthors int
+	MaxAuthors int
+
+	// CommunitySize controls collaboration locality: authors are grouped
+	// into communities of roughly this size and papers draw all their
+	// authors from a single community. Repeated collaborations inside a
+	// community are what gives collective matchers their relational
+	// evidence.
+	CommunitySize int
+
+	// LastNamePool is the number of distinct last names available. A
+	// smaller pool means more authors share last names, which (together
+	// with abbreviation) creates the name clashes the paper describes for
+	// HEPTH.
+	LastNamePool int
+
+	// AbbreviateProb is the probability that a reference renders its
+	// author's first name as a bare initial ("V. Rastogi"). HEPTH-like
+	// corpora use a high value; DBLP-like corpora use 0.
+	AbbreviateProb float64
+
+	// TypoProb is the probability that a reference's rendered name
+	// receives one random character mutation (DBLP noise model).
+	TypoProb float64
+
+	// CiteProb is the probability that a paper cites a random earlier
+	// paper in its community, checked up to MaxCites times.
+	CiteProb float64
+	MaxCites int
+
+	// RepeatGroupProb is the probability that a paper reuses the exact
+	// author set of an earlier paper in its community. Repeated groups
+	// are what give collective matchers jointly-positive cliques of
+	// match variables (a trio writing two papers together produces three
+	// mutually-supporting reference pairs).
+	RepeatGroupProb float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumAuthors <= 0:
+		return fmt.Errorf("datagen: NumAuthors = %d, want > 0", c.NumAuthors)
+	case c.NumPapers <= 0:
+		return fmt.Errorf("datagen: NumPapers = %d, want > 0", c.NumPapers)
+	case c.MinAuthors <= 0 || c.MaxAuthors < c.MinAuthors:
+		return fmt.Errorf("datagen: bad authors-per-paper range [%d,%d]", c.MinAuthors, c.MaxAuthors)
+	case c.CommunitySize <= 0:
+		return fmt.Errorf("datagen: CommunitySize = %d, want > 0", c.CommunitySize)
+	case c.LastNamePool <= 0:
+		return fmt.Errorf("datagen: LastNamePool = %d, want > 0", c.LastNamePool)
+	case c.AbbreviateProb < 0 || c.AbbreviateProb > 1:
+		return fmt.Errorf("datagen: AbbreviateProb = %v out of [0,1]", c.AbbreviateProb)
+	case c.TypoProb < 0 || c.TypoProb > 1:
+		return fmt.Errorf("datagen: TypoProb = %v out of [0,1]", c.TypoProb)
+	case c.RepeatGroupProb < 0 || c.RepeatGroupProb > 1:
+		return fmt.Errorf("datagen: RepeatGroupProb = %v out of [0,1]", c.RepeatGroupProb)
+	}
+	return nil
+}
+
+// author is an internal ground-truth author.
+type author struct {
+	first, last   string
+	community     int
+	weight        int   // productivity weight for preferential selection
+	collaborators []int // preferred repeat coauthors within the community
+}
+
+// Generate synthesizes a dataset according to c. The result passes
+// bib.Validate and is deterministic in c.Seed.
+func Generate(c Config) (*bib.Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// --- Authors -----------------------------------------------------
+	authors := make([]author, c.NumAuthors)
+	numCommunities := (c.NumAuthors + c.CommunitySize - 1) / c.CommunitySize
+	for i := range authors {
+		authors[i] = author{
+			first:     firstNames[rng.Intn(len(firstNames))],
+			last:      lastName(rng.Intn(c.LastNamePool)),
+			community: i % numCommunities,
+			// Zipf-flavored productivity: a few prolific authors.
+			weight: 1 + rng.Intn(4)*rng.Intn(4),
+		}
+	}
+	// Community membership lists.
+	communities := make([][]int, numCommunities)
+	for i := range authors {
+		communities[authors[i].community] = append(communities[authors[i].community], i)
+	}
+	// Preferred collaborators: each author repeatedly writes with a small
+	// fixed set of community members. This is the relational redundancy
+	// that collective matchers exploit ("J. Doe" and "John Doe" keep
+	// appearing next to "M. Smith" / "Mark Smith").
+	for i := range authors {
+		comm := communities[authors[i].community]
+		if len(comm) < 2 {
+			continue
+		}
+		n := 1 + rng.Intn(2)
+		for t := 0; t < n; t++ {
+			c := comm[rng.Intn(len(comm))]
+			if c != i {
+				// Collaboration is mutual: both sides prefer each other.
+				authors[i].collaborators = append(authors[i].collaborators, c)
+				authors[c].collaborators = append(authors[c].collaborators, i)
+			}
+		}
+	}
+
+	// --- Papers and references ---------------------------------------
+	d := &bib.Dataset{Name: c.Name}
+	d.Papers = make([]bib.Paper, 0, c.NumPapers)
+	papersInCommunity := make([][]bib.PaperID, numCommunities)
+
+	pickAuthor := func(comm []int) int {
+		total := 0
+		for _, a := range comm {
+			total += authors[a].weight
+		}
+		r := rng.Intn(total)
+		for _, a := range comm {
+			r -= authors[a].weight
+			if r < 0 {
+				return a
+			}
+		}
+		return comm[len(comm)-1]
+	}
+
+	groupsInCommunity := make([][][]int, numCommunities)
+	for p := 0; p < c.NumPapers; p++ {
+		commID := rng.Intn(numCommunities)
+		comm := communities[commID]
+		var chosen []int
+		if past := groupsInCommunity[commID]; len(past) > 0 && rng.Float64() < c.RepeatGroupProb {
+			// Reuse an earlier author group verbatim: repeated groups are
+			// the jointly-positive cliques collective matchers exploit.
+			chosen = append(chosen, past[rng.Intn(len(past))]...)
+		} else {
+			k := c.MinAuthors + rng.Intn(c.MaxAuthors-c.MinAuthors+1)
+			if k > len(comm) {
+				k = len(comm)
+			}
+			// Lead author by productivity; remaining slots prefer the
+			// lead's repeat collaborators, falling back to the community.
+			lead := pickAuthor(comm)
+			chosen = []int{lead}
+			inPaper := map[int]bool{lead: true}
+			for attempts := 0; len(chosen) < k && attempts < 20*k; attempts++ {
+				var cand int
+				member := chosen[rng.Intn(len(chosen))]
+				if collab := authors[member].collaborators; len(collab) > 0 && rng.Float64() < 0.9 {
+					cand = collab[rng.Intn(len(collab))]
+				} else {
+					cand = pickAuthor(comm)
+				}
+				if !inPaper[cand] {
+					inPaper[cand] = true
+					chosen = append(chosen, cand)
+				}
+			}
+			groupsInCommunity[commID] = append(groupsInCommunity[commID], chosen)
+		}
+		paper := bib.Paper{
+			Title: makeTitle(rng),
+			Year:  1992 + rng.Intn(20),
+		}
+		// Citations to earlier papers of the same community.
+		prior := papersInCommunity[commID]
+		for t := 0; t < c.MaxCites && len(prior) > 0; t++ {
+			if rng.Float64() < c.CiteProb {
+				paper.Cites = append(paper.Cites, prior[rng.Intn(len(prior))])
+			}
+		}
+		pid := bib.PaperID(len(d.Papers))
+		for _, a := range chosen {
+			rid := bib.RefID(len(d.Refs))
+			d.Refs = append(d.Refs, bib.Reference{
+				Name:  renderName(rng, authors[a], c),
+				Paper: pid,
+				True:  bib.AuthorID(a),
+			})
+			paper.Refs = append(paper.Refs, rid)
+		}
+		d.Papers = append(d.Papers, paper)
+		papersInCommunity[commID] = append(papersInCommunity[commID], pid)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: generated invalid dataset: %w", err)
+	}
+	return d, nil
+}
+
+// renderName produces the surface form of an author's name on one
+// reference, applying abbreviation and typo noise per the config.
+func renderName(rng *rand.Rand, a author, c Config) string {
+	first, last := a.first, a.last
+	if rng.Float64() < c.TypoProb {
+		if rng.Intn(2) == 0 {
+			first = typo(rng, first)
+		} else {
+			last = typo(rng, last)
+		}
+		// Occasionally a second mutation, so some names drift further.
+		if rng.Float64() < 0.3 {
+			if rng.Intn(2) == 0 {
+				first = typo(rng, first)
+			} else {
+				last = typo(rng, last)
+			}
+		}
+	}
+	if rng.Float64() < c.AbbreviateProb && len(first) > 0 {
+		return first[:1] + ". " + last
+	}
+	return first + " " + last
+}
+
+// MustGenerate is Generate for known-good configs (presets, tests);
+// it panics on error.
+func MustGenerate(c Config) *bib.Dataset {
+	d, err := Generate(c)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

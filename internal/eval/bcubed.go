@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"repro/internal/core"
+	"repro/internal/unionfind"
+)
+
+// This file adds cluster-level evaluation: pairwise P/R/F1 (the paper's
+// metric) under-weights small clusters, so entity-resolution practice
+// also reports B-cubed (Bagga & Baldwin): per-entity precision/recall of
+// the predicted cluster against the gold cluster, averaged over entities.
+
+// ClustersFromMatches turns a match set over n entities into dense
+// cluster ids via transitive closure (each unmatched entity is its own
+// cluster).
+func ClustersFromMatches(n int, matches core.PairSet) []int32 {
+	dsu := unionfind.New(n)
+	for p := range matches {
+		dsu.Union(int(p.A), int(p.B))
+	}
+	ids := make([]int32, n)
+	next := int32(0)
+	seen := map[int]int32{}
+	for i := 0; i < n; i++ {
+		r := dsu.Find(i)
+		id, ok := seen[r]
+		if !ok {
+			id = next
+			next++
+			seen[r] = id
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// BCubed computes B-cubed precision, recall and F1 for a predicted
+// clustering against gold labels. Both slices assign a cluster id per
+// entity and must have equal length.
+func BCubed(predicted, gold []int32) PRF {
+	n := len(predicted)
+	if n == 0 || len(gold) != n {
+		return PRF{Precision: 1, Recall: 1, F1: 1}
+	}
+	predMembers := map[int32][]int32{}
+	goldMembers := map[int32][]int32{}
+	for i := 0; i < n; i++ {
+		predMembers[predicted[i]] = append(predMembers[predicted[i]], int32(i))
+		goldMembers[gold[i]] = append(goldMembers[gold[i]], int32(i))
+	}
+	var sumP, sumR float64
+	for i := 0; i < n; i++ {
+		pc := predMembers[predicted[i]]
+		gc := goldMembers[gold[i]]
+		// Overlap of the entity's predicted and gold clusters.
+		inGold := map[int32]bool{}
+		for _, e := range gc {
+			inGold[e] = true
+		}
+		overlap := 0
+		for _, e := range pc {
+			if inGold[e] {
+				overlap++
+			}
+		}
+		sumP += float64(overlap) / float64(len(pc))
+		sumR += float64(overlap) / float64(len(gc))
+	}
+	out := PRF{
+		Precision: sumP / float64(n),
+		Recall:    sumR / float64(n),
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// BCubedFromMatches scores a match set directly against gold labels.
+func BCubedFromMatches(matches core.PairSet, gold []int32) PRF {
+	return BCubed(ClustersFromMatches(len(gold), matches), gold)
+}

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestClustersFromMatches(t *testing.T) {
+	m := ps([2]int32{0, 1}, [2]int32{1, 2}) // chain → one cluster {0,1,2}
+	ids := ClustersFromMatches(5, m)
+	if ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Errorf("chain not closed: %v", ids)
+	}
+	if ids[3] == ids[0] || ids[4] == ids[0] || ids[3] == ids[4] {
+		t.Errorf("singletons merged: %v", ids)
+	}
+	// Dense ids starting at 0.
+	seen := map[int32]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for i := int32(0); i < int32(len(seen)); i++ {
+		if !seen[i] {
+			t.Errorf("cluster ids not dense: %v", ids)
+		}
+	}
+}
+
+func TestBCubedPerfect(t *testing.T) {
+	gold := []int32{0, 0, 1, 1, 2}
+	m := BCubed(gold, gold)
+	if !approx(m.Precision, 1) || !approx(m.Recall, 1) || !approx(m.F1, 1) {
+		t.Errorf("perfect clustering scored %v", m)
+	}
+}
+
+func TestBCubedAllSingletons(t *testing.T) {
+	gold := []int32{0, 0, 1, 1}
+	pred := []int32{0, 1, 2, 3}
+	m := BCubed(pred, gold)
+	if !approx(m.Precision, 1) {
+		t.Errorf("singletons have perfect precision, got %v", m.Precision)
+	}
+	if !approx(m.Recall, 0.5) {
+		t.Errorf("recall = %v, want 0.5", m.Recall)
+	}
+}
+
+func TestBCubedAllMerged(t *testing.T) {
+	gold := []int32{0, 0, 1, 1}
+	pred := []int32{0, 0, 0, 0}
+	m := BCubed(pred, gold)
+	if !approx(m.Recall, 1) {
+		t.Errorf("one big cluster has perfect recall, got %v", m.Recall)
+	}
+	if !approx(m.Precision, 0.5) {
+		t.Errorf("precision = %v, want 0.5", m.Precision)
+	}
+}
+
+func TestBCubedKnownValue(t *testing.T) {
+	// gold: {0,1,2} {3,4}; pred: {0,1} {2,3} {4}
+	gold := []int32{0, 0, 0, 1, 1}
+	pred := []int32{0, 0, 1, 1, 2}
+	m := BCubed(pred, gold)
+	// precision: e0,e1: 2/2; e2: 1/2; e3: 1/2; e4: 1/1 → (1+1+.5+.5+1)/5 = 0.8
+	if !approx(m.Precision, 0.8) {
+		t.Errorf("precision = %v, want 0.8", m.Precision)
+	}
+	// recall: e0,e1: 2/3; e2: 1/3; e3: 1/2; e4: 1/2 → (2/3+2/3+1/3+.5+.5)/5
+	want := (2.0/3 + 2.0/3 + 1.0/3 + 0.5 + 0.5) / 5
+	if !approx(m.Recall, want) {
+		t.Errorf("recall = %v, want %v", m.Recall, want)
+	}
+}
+
+func TestBCubedEmpty(t *testing.T) {
+	m := BCubed(nil, nil)
+	if !approx(m.Precision, 1) || !approx(m.Recall, 1) {
+		t.Errorf("empty input scored %v", m)
+	}
+	if got := BCubed([]int32{0}, []int32{0, 1}); !approx(got.Precision, 1) {
+		t.Errorf("mismatched lengths must degrade gracefully: %v", got)
+	}
+}
+
+// Property: refining the prediction (splitting clusters) never increases
+// B³ recall and never decreases B³ precision.
+func TestBCubedRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(12)
+		gold := make([]int32, n)
+		pred := make([]int32, n)
+		for i := range gold {
+			gold[i] = int32(rng.Intn(4))
+			pred[i] = int32(rng.Intn(3))
+		}
+		// Refine pred: split each cluster in two by parity.
+		refined := make([]int32, n)
+		for i := range pred {
+			refined[i] = pred[i]*2 + int32(i%2)
+		}
+		m0, m1 := BCubed(pred, gold), BCubed(refined, gold)
+		if m1.Recall > m0.Recall+1e-12 {
+			t.Fatalf("trial %d: refinement increased recall: %v -> %v", trial, m0.Recall, m1.Recall)
+		}
+		if m1.Precision < m0.Precision-1e-12 {
+			t.Fatalf("trial %d: refinement decreased precision: %v -> %v", trial, m0.Precision, m1.Precision)
+		}
+	}
+}
+
+func TestBCubedFromMatches(t *testing.T) {
+	gold := []int32{0, 0, 1}
+	m := BCubedFromMatches(core.NewPairSet(core.MakePair(0, 1)), gold)
+	if !approx(m.Precision, 1) || !approx(m.Recall, 1) {
+		t.Errorf("exact match set scored %v", m)
+	}
+}

@@ -1,0 +1,635 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 and Appendix C): the accuracy figures 3(a)–3(c), the
+// running-time figures 3(d)–3(f), the grid Table 1, and the RULES
+// figures 4(a)–4(c). Each experiment returns a Table whose rows mirror
+// the series the paper plots; cmd/embench prints them and bench_test.go
+// wraps each in a testing.B benchmark.
+//
+// Absolute numbers differ from the paper (synthetic corpora, an exact
+// graph-cut MLN solver instead of Alchemy, a simulated grid), but the
+// shape claims are preserved and asserted in EXPERIMENTS.md. For the
+// timing figures the harness reports, next to measured wall time, a
+// *modeled* inference time Σ cost(active) over all neighborhood
+// evaluations, where active is the number of undecided matching decisions
+// — the quantity §6.2 identifies as the driver of SMP/MMP's speed
+// advantage — and cost(m) = m^CostExponent. This models the steeply
+// superlinear per-neighborhood cost of the paper's Alchemy-based matcher,
+// which our polynomial exact solver deliberately does not have.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	cem "repro"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/grid"
+	"repro/internal/mln"
+)
+
+// Config scales and seeds the experiment suite.
+type Config struct {
+	// Scale multiplies corpus sizes (1.0 ≈ a few thousand references).
+	Scale float64
+	// Seed drives dataset generation and grid assignment.
+	Seed int64
+	// Machines is the simulated grid width for Table 1 (the paper: 30).
+	Machines int
+	// RoundOverhead is the per-round scheduling cost of the simulated
+	// grid (mapper/reducer setup on Hadoop).
+	RoundOverhead time.Duration
+	// CostExponent is the exponent of the modeled per-neighborhood
+	// inference cost cost(m) = m^CostExponent (Alchemy-like superlinear
+	// growth; the paper's Figure 3(f) shows near-exponential behavior).
+	CostExponent float64
+	// Fig3fSteps is the number of prefix sizes swept in Figure 3(f).
+	Fig3fSteps int
+}
+
+// Default returns a configuration sized for interactive runs.
+func Default() Config {
+	return Config{
+		Scale:         0.5,
+		Seed:          42,
+		Machines:      30,
+		RoundOverhead: 500 * time.Millisecond,
+		CostExponent:  2.0,
+		Fig3fSteps:    8,
+	}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// modeledCost evaluates the inference-cost model over a run's recorded
+// active sizes: Σ active^exp, in abstract cost units.
+func modeledCost(sizes []int, exponent float64) float64 {
+	total := 0.0
+	for _, m := range sizes {
+		if m <= 0 {
+			continue
+		}
+		total += math.Pow(float64(m), exponent)
+	}
+	return total
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
+func fmtCost(c float64) string { return fmt.Sprintf("%.2e", c) }
+
+// setup builds a fully wired experiment for a corpus kind.
+func setup(kind cem.DatasetKind, cfg Config) (*cem.Experiment, error) {
+	d := cem.NewDataset(kind, cfg.Scale, cfg.Seed)
+	return cem.Setup(d, cem.DefaultOptions())
+}
+
+// accuracyTable runs the given schemes with a matcher and tabulates
+// P/R/F1 (figures 3a, 3b, 4a, 4b).
+func accuracyTable(id, title string, kind cem.DatasetKind, matcher cem.MatcherKind, schemes []cem.Scheme, cfg Config) (*Table, error) {
+	exp, err := setup(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"scheme", "P", "R", "F1", "tp", "fp", "fn"},
+	}
+	// RULES is evaluated with transitive closure applied at the end of
+	// the run, exactly as Appendix B prescribes; the MLN rule set has no
+	// transitivity rule, so its output is scored raw.
+	closing := matcher == cem.MatcherRules
+	for _, s := range schemes {
+		res, err := exp.Run(s, matcher)
+		if err != nil {
+			return nil, err
+		}
+		if closing {
+			res.Matches = exp.TransitiveClosure(res.Matches)
+		}
+		r := exp.Evaluate(res)
+		t.Rows = append(t.Rows, []string{
+			string(s), fmtF(r.PRF.Precision), fmtF(r.PRF.Recall), fmtF(r.PRF.F1),
+			fmt.Sprint(r.PRF.TP), fmt.Sprint(r.PRF.FP), fmt.Sprint(r.PRF.FN),
+		})
+	}
+	st := exp.Dataset.ComputeStats()
+	cs := exp.Cover.ComputeStats()
+	t.Notes = append(t.Notes, fmt.Sprintf("dataset: %s", st))
+	t.Notes = append(t.Notes, fmt.Sprintf("cover: %s; matching decisions: %d", cs, len(exp.Candidates)))
+	return t, nil
+}
+
+// Fig3a: precision/recall/F1 of NO-MP, SMP, MMP and UB for the MLN
+// matcher on the HEPTH-like corpus.
+func Fig3a(cfg Config) (*Table, error) {
+	return accuracyTable("Fig 3(a)", "P/R/F1, MLN matcher, HEPTH-like corpus",
+		cem.HEPTH, cem.MatcherMLN,
+		[]cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP, cem.SchemeUB}, cfg)
+}
+
+// Fig3b: the same on the DBLP-like corpus.
+func Fig3b(cfg Config) (*Table, error) {
+	return accuracyTable("Fig 3(b)", "P/R/F1, MLN matcher, DBLP-like corpus",
+		cem.DBLP, cem.MatcherMLN,
+		[]cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP, cem.SchemeUB}, cfg)
+}
+
+// Fig3c: completeness of the message-passing schemes. The paper can only
+// lower-bound completeness via the UB oracle; our exact solver also
+// affords the FULL run, so both references are reported.
+func Fig3c(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig 3(c)",
+		Title:  "completeness of message-passing schemes (MLN matcher)",
+		Header: []string{"corpus", "scheme", "vs UB", "vs FULL", "sound vs FULL"},
+	}
+	for _, kind := range []cem.DatasetKind{cem.HEPTH, cem.DBLP} {
+		exp, err := setup(kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ub, err := exp.Run(cem.SchemeUB, cem.MatcherMLN)
+		if err != nil {
+			return nil, err
+		}
+		full, err := exp.Run(cem.SchemeFull, cem.MatcherMLN)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
+			res, err := exp.Run(s, cem.MatcherMLN)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				string(kind), string(s),
+				fmtF(eval.Completeness(res.Matches, ub.Matches)),
+				fmtF(eval.Completeness(res.Matches, full.Matches)),
+				fmtF(eval.Soundness(res.Matches, full.Matches)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the paper reports completeness vs UB only (full MLN runs were infeasible);",
+		"our exact solver affords FULL, against which MMP should be sound and complete (Thm 4 + §6.1)")
+	return t, nil
+}
+
+// timeTable runs the schemes and tabulates measured and modeled times
+// (figures 3d, 3e).
+func timeTable(id, title string, kind cem.DatasetKind, cfg Config) (*Table, error) {
+	exp, err := setup(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"scheme", "wall", "matcher", "evals", "active-decisions", "modeled-cost"},
+	}
+	for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
+		res, err := exp.Run(s, cem.MatcherMLN)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			string(s),
+			fmtMs(res.Stats.Elapsed),
+			fmtMs(res.Stats.MatcherTime),
+			fmt.Sprint(res.Stats.Evaluations),
+			fmt.Sprint(res.Stats.TotalActive()),
+			fmtCost(modeledCost(res.Stats.ActiveSizes, cfg.CostExponent)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"modeled-cost = Σ active^"+fmt.Sprint(cfg.CostExponent)+" over neighborhood evaluations: the",
+		"paper's Alchemy matcher pays superlinear cost per active decision, so fewer active",
+		"decisions (more message passing) means lower total time — Fig 3(d)/(e)'s ordering")
+	return t, nil
+}
+
+// Fig3d: running-time comparison on HEPTH-like (MLN).
+func Fig3d(cfg Config) (*Table, error) {
+	return timeTable("Fig 3(d)", "running times, MLN matcher, HEPTH-like corpus", cem.HEPTH, cfg)
+}
+
+// Fig3e: running-time comparison on DBLP-like (MLN); an order of
+// magnitude cheaper than HEPTH due to much smaller neighborhoods.
+func Fig3e(cfg Config) (*Table, error) {
+	return timeTable("Fig 3(e)", "running times, MLN matcher, DBLP-like corpus", cem.DBLP, cfg)
+}
+
+// Fig3f: scalability sweep — total time of FULL EM on the union of the
+// first k neighborhoods (superlinear blow-up) versus MMP on the same
+// prefix (linear in k).
+func Fig3f(cfg Config) (*Table, error) {
+	exp, err := setup(cem.HEPTH, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := exp.Cover.Len()
+	steps := cfg.Fig3fSteps
+	if steps < 2 {
+		steps = 2
+	}
+	t := &Table{
+		ID:     "Fig 3(f)",
+		Title:  "running time vs number of neighborhoods (MLN, HEPTH-like)",
+		Header: []string{"k", "decisions", "fullEM-wall", "fullEM-cost", "mmp-wall", "mmp-cost"},
+	}
+	// Canopy construction front-loads the largest neighborhoods (early
+	// seeds absorb the big name-clash groups), so prefixes of the raw
+	// order are unrepresentative. Shuffle deterministically; the paper's
+	// own curve shows large neighborhoods scattered through the order
+	// ("whenever a new large neighborhood is included, the running time
+	// shows a small jump").
+	sets := make([][]core.EntityID, n)
+	copy(sets, exp.Cover.Sets)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(n, func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
+	shuffled := core.NewCover(exp.Cover.NumEntities, sets)
+
+	// Per-neighborhood decision sets, so each prefix's matching decisions
+	// — the paper's unit of work — accumulate without double counting.
+	perNbhd := make([][]core.Pair, n)
+	for i, set := range shuffled.Sets {
+		perNbhd[i] = exp.MLN.Candidates(set)
+	}
+	seen := core.NewPairSet()
+	decisionsAt := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		for _, p := range perNbhd[i] {
+			seen.Add(p)
+		}
+		decisionsAt[i+1] = seen.Len()
+	}
+	// Geometric prefix sizes (n/2^(steps-1), …, n/2, n): the interesting
+	// superlinear growth happens early, before the heavy-tailed decision
+	// distribution saturates.
+	for s := 1; s <= steps; s++ {
+		k := n >> (steps - s)
+		if k < 1 {
+			k = 1
+		}
+		prefix := shuffled.Sets[:k]
+		sub := core.NewCover(exp.Cover.NumEntities, prefix)
+		cfgCore := core.Config{Cover: sub, Matcher: exp.MLN, Relation: exp.Dataset.Coauthor()}
+
+		// FULL EM over the union of the prefix's entities: one inference
+		// problem spanning all the prefix's matching decisions.
+		union := map[core.EntityID]bool{}
+		for _, set := range prefix {
+			for _, e := range set {
+				union[e] = true
+			}
+		}
+		entities := make([]core.EntityID, 0, len(union))
+		for e := range union {
+			entities = append(entities, e)
+		}
+		fullStart := time.Now()
+		exp.MLN.Match(entities, nil, nil)
+		fullWall := time.Since(fullStart)
+		fullCost := modeledCost([]int{decisionsAt[k]}, cfg.CostExponent)
+
+		mmp, err := core.MMP(cfgCore)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprint(decisionsAt[k]),
+			fmtMs(fullWall),
+			fmtCost(fullCost),
+			fmtMs(mmp.Stats.Elapsed),
+			fmtCost(modeledCost(mmp.Stats.ActiveSizes, cfg.CostExponent)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"fullEM treats the first k neighborhoods as ONE inference problem over all their",
+		"matching decisions: modeled cost grows as decisions^exp (superlinear in k), while",
+		"MMP's cost stays linear in k — the Fig 3(f) separation")
+	return t, nil
+}
+
+// Table1: grid execution of DBLP-BIG-like — simulated single-machine vs
+// G-machine times and the resulting speedup per scheme.
+func Table1(cfg Config) (*Table, error) {
+	d := cem.NewDataset(cem.DBLPBig, cfg.Scale, cfg.Seed)
+	exp, err := cem.Setup(d, cem.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	// Simulated service times follow the Alchemy-like cost model (the
+	// paper's single-machine runs took hours on DBLP-BIG; our exact
+	// solver is orders of magnitude faster, so measured times would be
+	// dominated by scheduling overhead instead of inference).
+	unit := float64(time.Millisecond)
+	g := grid.Config{
+		Machines:      cfg.Machines,
+		RoundOverhead: cfg.RoundOverhead,
+		Seed:          cfg.Seed,
+		ServiceModel: func(active int) time.Duration {
+			return time.Duration(unit * math.Pow(float64(active), cfg.CostExponent))
+		},
+	}
+	t := &Table{
+		ID:     "Table 1",
+		Title:  fmt.Sprintf("grid running times, DBLP-BIG-like, %d machines", cfg.Machines),
+		Header: []string{"scheme", "single-machine", "grid", "speedup", "rounds", "jobs"},
+	}
+	type runner func() (*grid.Result, error)
+	runs := []struct {
+		name string
+		run  runner
+	}{
+		{"NO-MP", func() (*grid.Result, error) { return exp.RunGrid(cem.SchemeNoMP, cem.MatcherMLN, g) }},
+		{"SMP", func() (*grid.Result, error) { return exp.RunGrid(cem.SchemeSMP, cem.MatcherMLN, g) }},
+		{"MMP", func() (*grid.Result, error) { return exp.RunGrid(cem.SchemeMMP, cem.MatcherMLN, g) }},
+	}
+	for _, r := range runs {
+		res, err := r.run()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.name,
+			res.SimulatedSingleTime.Round(time.Millisecond).String(),
+			res.SimulatedGridTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", res.Speedup),
+			fmt.Sprint(res.Rounds),
+			fmt.Sprint(res.JobsRun),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("dataset: %s", d.ComputeStats()),
+		"speedup < machine count: random job assignment skews per-machine load and every",
+		"round pays a fixed scheduling overhead — the paper's explanation for 11× on 30 machines")
+	return t, nil
+}
+
+// Fig4a: RULES accuracy on HEPTH-like (NO-MP, SMP, FULL).
+func Fig4a(cfg Config) (*Table, error) {
+	return accuracyTable("Fig 4(a)", "P/R/F1, RULES matcher, HEPTH-like corpus",
+		cem.HEPTH, cem.MatcherRules,
+		[]cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeFull}, cfg)
+}
+
+// Fig4b: RULES accuracy on DBLP-like.
+func Fig4b(cfg Config) (*Table, error) {
+	return accuracyTable("Fig 4(b)", "P/R/F1, RULES matcher, DBLP-like corpus",
+		cem.DBLP, cem.MatcherRules,
+		[]cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeFull}, cfg)
+}
+
+// Fig4c: RULES running times on both corpora. RULES is a fast linear
+// matcher, so — unlike MLN — SMP does not beat NO-MP, and FULL is cheap.
+func Fig4c(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Fig 4(c)",
+		Title:  "running times, RULES matcher",
+		Header: []string{"corpus", "scheme", "wall", "matcher", "evals"},
+	}
+	for _, kind := range []cem.DatasetKind{cem.HEPTH, cem.DBLP} {
+		exp, err := setup(kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeFull} {
+			res, err := exp.Run(s, cem.MatcherRules)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				string(kind), string(s),
+				fmtMs(res.Stats.Elapsed),
+				fmtMs(res.Stats.MatcherTime),
+				fmt.Sprint(res.Stats.Evaluations),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"RULES has linear complexity, so savings from smaller active neighborhoods do not",
+		"offset revisit costs: SMP ≥ NO-MP in time (Appendix C)")
+	return t, nil
+}
+
+// AblationCover sweeps the cover-construction knob DESIGN.md calls out:
+// how much relational context each neighborhood absorbs (MaxAligned
+// aligned partner pairs; FullBoundary = everything). It demonstrates the
+// trade the paper's Figure 3(d) sits on: high-overlap covers duplicate
+// inference work, so NO-MP pays more than SMP/MMP (the paper's
+// "messages reduce active neighborhood size" speed-up), while
+// low-overlap covers fragment collective cliques, so message passing is
+// what buys *recall* instead.
+func AblationCover(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "Ablation",
+		Title: "cover context vs accuracy and modeled cost (MLN, HEPTH-like)",
+		Header: []string{"cover", "scheme", "R", "P",
+			"active-decisions", "modeled-cost"},
+	}
+	type variant struct {
+		name       string
+		maxAligned int
+		full       bool
+	}
+	variants := []variant{
+		{"edge-greedy", 0, false},
+		{"aligned-1", 1, false},
+		{"aligned-2", 2, false},
+		{"full-boundary", 0, true},
+	}
+	d := cem.NewDataset(cem.HEPTH, cfg.Scale, cfg.Seed)
+	for _, v := range variants {
+		opts := cem.DefaultOptions()
+		opts.Canopy.MaxAligned = v.maxAligned
+		opts.Canopy.FullBoundary = v.full
+		exp, err := cem.Setup(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
+			res, err := exp.Run(s, cem.MatcherMLN)
+			if err != nil {
+				return nil, err
+			}
+			r := exp.Evaluate(res)
+			t.Rows = append(t.Rows, []string{
+				v.name, string(s), fmtF(r.PRF.Recall), fmtF(r.PRF.Precision),
+				fmt.Sprint(res.Stats.TotalActive()),
+				fmtCost(modeledCost(res.Stats.ActiveSizes, cfg.CostExponent)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"more shared context (aligned-2, full-boundary): NO-MP's modeled cost rises above",
+		"SMP/MMP (the Fig 3(d) inversion) but the recall gaps close; fragmented covers",
+		"(edge-greedy, aligned-1) show the opposite: message passing buys recall")
+	return t, nil
+}
+
+// LearnedWeights trains the MLN rule weights with the structured
+// perceptron (our substitution for the paper's Alchemy weight learning,
+// Appendix B) on one corpus and evaluates them against the paper's
+// learned weights on a held-out corpus from the same distribution.
+func LearnedWeights(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Learning",
+		Title:  "paper weights vs perceptron-learned weights (MLN, SMP)",
+		Header: []string{"corpus", "weights", "P", "R", "F1"},
+	}
+	for _, kind := range []cem.DatasetKind{cem.HEPTH, cem.DBLP} {
+		train, err := setup(kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		learned, err := mln.Learn(train.MLN, train.Cover, train.Truth, mln.DefaultLearnConfig())
+		if err != nil {
+			return nil, err
+		}
+		// Held-out corpus: same distribution, different seed.
+		heldCfg := cfg
+		heldCfg.Seed = cfg.Seed + 1000
+		held, err := setup(kind, heldCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, variant := range []struct {
+			name string
+			w    mln.Weights
+		}{
+			{"paper", mln.PaperWeights()},
+			{"learned", learned},
+		} {
+			if err := held.MLN.SetWeights(variant.w); err != nil {
+				return nil, err
+			}
+			res, err := held.Run(cem.SchemeSMP, cem.MatcherMLN)
+			if err != nil {
+				return nil, err
+			}
+			r := held.Evaluate(res)
+			t.Rows = append(t.Rows, []string{
+				string(kind), variant.name,
+				fmtF(r.PRF.Precision), fmtF(r.PRF.Recall), fmtF(r.PRF.F1),
+			})
+		}
+		if err := held.MLN.SetWeights(mln.PaperWeights()); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"weights trained on one corpus, evaluated on a held-out corpus of the same kind;",
+		"the paper trained with Alchemy — the perceptron is our documented substitution")
+	return t, nil
+}
+
+// Scaling sweeps the corpus size and reports how SMP and MMP grow — the
+// paper's central scalability claim is time linear in the number of
+// neighborhoods (Theorems 3 and 5 plus the §6.2 measurements). Each row
+// doubles the scale; near-constant cost/neighborhood columns are the
+// linearity evidence.
+func Scaling(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "Scaling",
+		Title: "scheme cost vs corpus size (MLN, DBLP-like)",
+		Header: []string{"scale", "refs", "neighborhoods", "decisions",
+			"smp-evals", "smp-cost/nbhd", "mmp-evals", "mmp-cost/nbhd"},
+	}
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		sub := cfg
+		sub.Scale = cfg.Scale * mult
+		exp, err := setup(cem.DBLP, sub)
+		if err != nil {
+			return nil, err
+		}
+		smp, err := exp.Run(cem.SchemeSMP, cem.MatcherMLN)
+		if err != nil {
+			return nil, err
+		}
+		mmp, err := exp.Run(cem.SchemeMMP, cem.MatcherMLN)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(exp.Cover.Len())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2g", sub.Scale),
+			fmt.Sprint(exp.Dataset.NumRefs()),
+			fmt.Sprint(exp.Cover.Len()),
+			fmt.Sprint(len(exp.Candidates)),
+			fmt.Sprint(smp.Stats.Evaluations),
+			fmt.Sprintf("%.1f", modeledCost(smp.Stats.ActiveSizes, cfg.CostExponent)/n),
+			fmt.Sprint(mmp.Stats.Evaluations),
+			fmt.Sprintf("%.1f", modeledCost(mmp.Stats.ActiveSizes, cfg.CostExponent)/n),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"cost/neighborhood staying ~flat while the corpus quadruples is the linear-",
+		"scalability claim of Theorems 3/5: total cost grows with n, not with n²")
+	return t, nil
+}
+
+// All runs every experiment in paper order, plus the extensions.
+func All(cfg Config) ([]*Table, error) {
+	runs := []func(Config) (*Table, error){
+		Fig3a, Fig3b, Fig3c, Fig3d, Fig3e, Fig3f, Table1, Fig4a, Fig4b, Fig4c,
+		AblationCover, LearnedWeights, Scaling,
+	}
+	out := make([]*Table, 0, len(runs))
+	for _, run := range runs {
+		t, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

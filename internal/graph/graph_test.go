@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle() *Graph {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	return b.Build()
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	g := buildTriangle()
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.Edges() != 3 {
+		t.Fatalf("Edges = %d, want 3", g.Edges())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing or not symmetric")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("phantom edge {0,3}")
+	}
+}
+
+func TestDuplicateAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 2) // self loop dropped
+	g := b.Build()
+	if g.Degree(0) != 1 {
+		t.Errorf("Degree(0) = %d, want 1 (deduped)", g.Degree(0))
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("Degree(2) = %d, want 0 (self loop dropped)", g.Degree(2))
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	nbrs := g.Neighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("neighbors not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Build()
+	ids, count := g.Components()
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	if ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Error("0,1,2 must share a component")
+	}
+	if ids[3] != ids[4] {
+		t.Error("3,4 must share a component")
+	}
+	if ids[5] == ids[6] {
+		t.Error("isolated vertices must be distinct components")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.N() != 0 || g.Edges() != 0 {
+		t.Fatal("empty graph wrong")
+	}
+	_, count := g.Components()
+	if count != 0 {
+		t.Fatalf("empty graph components = %d", count)
+	}
+}
+
+// Property: HasEdge agrees with a naive map-based edge set on random graphs.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20)
+		m := rng.Intn(40)
+		b := NewBuilder(n)
+		naive := map[[2]int32]bool{}
+		for i := 0; i < m; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			b.AddEdge(u, v)
+			if u != v {
+				naive[[2]int32{u, v}] = true
+				naive[[2]int32{v, u}] = true
+			}
+		}
+		g := b.Build()
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				if g.HasEdge(u, v) != naive[[2]int32{u, v}] {
+					t.Fatalf("trial %d: HasEdge(%d,%d) mismatch", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: sum of degrees equals twice the edge count.
+func TestHandshake(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 32
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(int32(raw[i]%n), int32(raw[i+1]%n))
+		}
+		g := b.Build()
+		sum := 0
+		for v := int32(0); v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.Edges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

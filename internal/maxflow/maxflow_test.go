@@ -1,0 +1,203 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	if f := g.MaxFlow(0, 1); f != 5 {
+		t.Fatalf("flow = %v, want 5", f)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	if f := g.MaxFlow(1, 1); f != 0 {
+		t.Fatalf("flow s==t = %v, want 0", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(2, 3, 3)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Fatalf("flow = %v, want 0", f)
+	}
+	side := g.MinCutSource(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("cut sides wrong: %v", side)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Fatalf("flow = %v, want 23", f)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 2.5)
+	if f := g.MaxFlow(0, 1); math.Abs(f-3.5) > 1e-9 {
+		t.Fatalf("flow = %v, want 3.5", f)
+	}
+}
+
+func TestNegativeCapacityClamped(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, -3)
+	if f := g.MaxFlow(0, 1); f != 0 {
+		t.Fatalf("negative capacity must clamp to 0, flow = %v", f)
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := New(3)
+	g.AddUndirected(0, 1, 2)
+	g.AddUndirected(1, 2, 2)
+	if f := g.MaxFlow(0, 2); math.Abs(f-2) > 1e-9 {
+		t.Fatalf("flow = %v, want 2", f)
+	}
+}
+
+// bruteMinCut enumerates all 2^(n-2) cuts of a small graph and returns the
+// minimum cut value separating s from t.
+func bruteMinCut(n int, edges [][3]float64, s, t int) float64 {
+	others := []int{}
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			others = append(others, v)
+		}
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<len(others); mask++ {
+		source := make([]bool, n)
+		source[s] = true
+		for i, v := range others {
+			if mask&(1<<i) != 0 {
+				source[v] = true
+			}
+		}
+		var cut float64
+		for _, e := range edges {
+			u, v, c := int(e[0]), int(e[1]), e[2]
+			if c < 0 {
+				c = 0
+			}
+			if source[u] && !source[v] {
+				cut += c
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// TestAgainstBruteForce verifies max-flow == min-cut on random graphs by
+// exhaustive cut enumeration (max-flow/min-cut duality).
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		m := rng.Intn(3 * n)
+		edges := make([][3]float64, 0, m)
+		g := New(n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Float64() * 10
+			edges = append(edges, [3]float64{float64(u), float64(v), c})
+			g.AddEdge(u, v, c)
+		}
+		s, tt := 0, n-1
+		got := g.MaxFlow(s, tt)
+		want := bruteMinCut(n, edges, s, tt)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: flow %v != brute min cut %v (n=%d edges=%v)",
+				trial, got, want, n, edges)
+		}
+		// The reported cut must also be a valid s-t cut of value == flow.
+		side := g.MinCutSource(s)
+		if !side[s] || side[tt] {
+			t.Fatalf("trial %d: invalid cut sides", trial)
+		}
+		var cutVal float64
+		for _, e := range edges {
+			u, v, c := int(e[0]), int(e[1]), e[2]
+			if side[u] && !side[v] {
+				cutVal += c
+			}
+		}
+		if math.Abs(cutVal-got) > 1e-6 {
+			t.Fatalf("trial %d: cut value %v != flow %v", trial, cutVal, got)
+		}
+	}
+}
+
+func TestLargeLayeredGraph(t *testing.T) {
+	// Layered graph: s -> layer1 (w nodes) -> layer2 -> t, unit capacities.
+	const w = 50
+	g := New(2 + 2*w)
+	s, sink := 0, 1+2*w
+	for i := 0; i < w; i++ {
+		g.AddEdge(s, 1+i, 1)
+		g.AddEdge(1+i, 1+w+i, 1)
+		g.AddEdge(1+w+i, sink, 1)
+	}
+	if f := g.MaxFlow(s, sink); math.Abs(f-w) > 1e-9 {
+		t.Fatalf("flow = %v, want %d", f, w)
+	}
+}
+
+func BenchmarkMaxFlowGrid(b *testing.B) {
+	// 20x20 grid network with random capacities.
+	const side = 20
+	rng := rand.New(rand.NewSource(3))
+	type edge struct {
+		u, v int
+		c    float64
+	}
+	var edges []edge
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				edges = append(edges, edge{id(r, c), id(r+1, c), rng.Float64() * 5})
+			}
+			if c+1 < side {
+				edges = append(edges, edge{id(r, c), id(r, c+1), rng.Float64() * 5})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(side * side)
+		for _, e := range edges {
+			g.AddEdge(e.u, e.v, e.c)
+		}
+		g.MaxFlow(0, side*side-1)
+	}
+}

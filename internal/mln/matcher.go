@@ -1,0 +1,279 @@
+package mln
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bib"
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// Weights are the MLN rule weights. Default values are the learned
+// weights the paper reports in Appendix B.
+type Weights struct {
+	Sim1     float64 // similar(e1,e2,1) ⇒ equals
+	Sim2     float64 // similar(e1,e2,2) ⇒ equals
+	Sim3     float64 // similar(e1,e2,3) ⇒ equals
+	Coauthor float64 // coauthor-support rule; must be ≥ 0 for supermodularity
+
+	// SelfCite weights the optional citation rule — an extension
+	// exercising Example 1's Cites relation, not part of the paper's
+	// Appendix B program (default 0 = disabled):
+	//
+	//	similar(e1,e2,_) ∧ cites(paper(e1), paper(e2)) ⇒ equals(e1,e2)
+	//
+	// capturing that authors disproportionately cite their own earlier
+	// work. The feature is unary (it never couples two match variables),
+	// so any weight preserves supermodularity.
+	SelfCite float64
+
+	// TieEps is the per-pair inclusion bonus realizing Definition 5's
+	// "largest most-likely set" tie-break. It must be far smaller than
+	// the smallest non-zero weight combination (weights have two
+	// decimals, so any real score difference is ≥ 0.01).
+	TieEps float64
+}
+
+// PaperWeights returns the Appendix B learned weights.
+func PaperWeights() Weights {
+	return Weights{Sim1: -2.28, Sim2: -3.84, Sim3: 12.75, Coauthor: 2.46, TieEps: 1e-9}
+}
+
+func (w Weights) sim(l similarity.Level) float64 {
+	switch l {
+	case similarity.LevelWeak:
+		return w.Sim1
+	case similarity.LevelMedium:
+		return w.Sim2
+	case similarity.LevelStrong:
+		return w.Sim3
+	default:
+		return 0
+	}
+}
+
+// Validate reports weight configurations that break the matcher's
+// theoretical guarantees.
+func (w Weights) Validate() error {
+	if w.Coauthor < 0 {
+		return fmt.Errorf("mln: negative coauthor weight %v breaks supermodularity", w.Coauthor)
+	}
+	if w.TieEps < 0 || w.TieEps > 1e-3 {
+		return fmt.Errorf("mln: TieEps %v out of sane range (0, 1e-3]", w.TieEps)
+	}
+	return nil
+}
+
+// interEdge is one interaction partner of a candidate pair: matching
+// pairs[other] contributes count coauthor-rule groundings to this pair.
+type interEdge struct {
+	other int32
+	count int32
+}
+
+// Matcher is the ground MLN over one dataset's candidate pairs. It
+// implements core.Matcher, core.Probabilistic, and
+// core.ConditionalDecider. The model (pairs, weights, interactions) is
+// immutable after construction; Match uses only per-call state and the
+// matcher is safe for concurrent use.
+type Matcher struct {
+	w        Weights
+	pairs    []core.Pair
+	idOf     map[core.Pair]int32
+	level    []similarity.Level
+	reflex   []int32 // reflexive coauthor groundings per pair (both roles)
+	selfCite []int8  // 1 when the pair's papers cite each other (extension)
+	unary    []float64
+	adj      [][]interEdge
+	pairsOf  [][]int32 // entity -> ids of candidate pairs touching it
+	n        int       // number of entities
+}
+
+// Candidate is one match variable: a reference pair with its discretized
+// similarity level.
+type Candidate struct {
+	Pair  core.Pair
+	Level similarity.Level
+}
+
+// New grounds the MLN for a dataset over the given candidate pairs
+// (typically canopy.CandidatePairs of a total cover). Groundings of the
+// coauthor rule are precomputed: for each candidate pair p = (e1, e2) and
+// each (c1, c2) ∈ N(e1) × N(e2) of the Coauthor graph, the rule fires
+// once per role assignment — twice per combination — when (c1, c2) is
+// matched, and c1 = c2 (the trivial reflexivity match of §2.1) yields a
+// constant unary bonus.
+func New(d *bib.Dataset, cands []Candidate, w Weights) (*Matcher, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Matcher{
+		w:        w,
+		pairs:    make([]core.Pair, len(cands)),
+		idOf:     make(map[core.Pair]int32, len(cands)),
+		level:    make([]similarity.Level, len(cands)),
+		reflex:   make([]int32, len(cands)),
+		selfCite: make([]int8, len(cands)),
+		unary:    make([]float64, len(cands)),
+		adj:      make([][]interEdge, len(cands)),
+		pairsOf:  make([][]int32, d.NumRefs()),
+		n:        d.NumRefs(),
+	}
+	for i, c := range cands {
+		if !c.Pair.Valid() {
+			return nil, fmt.Errorf("mln: invalid candidate pair %v", c.Pair)
+		}
+		if _, dup := m.idOf[c.Pair]; dup {
+			return nil, fmt.Errorf("mln: duplicate candidate pair %v", c.Pair)
+		}
+		m.pairs[i] = c.Pair
+		m.idOf[c.Pair] = int32(i)
+		m.level[i] = c.Level
+		m.pairsOf[c.Pair.A] = append(m.pairsOf[c.Pair.A], int32(i))
+		m.pairsOf[c.Pair.B] = append(m.pairsOf[c.Pair.B], int32(i))
+	}
+	co := d.Coauthor()
+	cites := citesIndex(d)
+	counts := map[int32]int32{}
+	for i := range m.pairs {
+		p := m.pairs[i]
+		clear(counts)
+		reflex := 0
+		for _, c1 := range co.Neighbors(p.A) {
+			for _, c2 := range co.Neighbors(p.B) {
+				if c1 == c2 {
+					reflex++
+					continue
+				}
+				q := core.MakePair(c1, c2)
+				if j, ok := m.idOf[q]; ok && int(j) != i {
+					counts[j] += 2 // two role assignments per combination
+				}
+			}
+		}
+		m.reflex[i] = int32(2 * reflex)
+		// Self-citation groundings (extension; zero-weight by default).
+		pa, pb := d.Refs[p.A].Paper, d.Refs[p.B].Paper
+		if cites[[2]int32{pa, pb}] || cites[[2]int32{pb, pa}] {
+			m.selfCite[i] = 1
+		}
+		if len(counts) > 0 {
+			edges := make([]interEdge, 0, len(counts))
+			for j, c := range counts {
+				edges = append(edges, interEdge{other: j, count: c})
+			}
+			sort.Slice(edges, func(a, b int) bool { return edges[a].other < edges[b].other })
+			m.adj[i] = edges
+		}
+	}
+	m.applyWeights()
+	return m, nil
+}
+
+// applyWeights recomputes the unary vector from the current weights.
+func (m *Matcher) applyWeights() {
+	for i := range m.pairs {
+		m.unary[i] = m.w.sim(m.level[i]) +
+			m.w.Coauthor*float64(m.reflex[i]) +
+			m.w.SelfCite*float64(m.selfCite[i])
+	}
+}
+
+// citesIndex builds a set of directed (citing, cited) paper pairs.
+func citesIndex(d *bib.Dataset) map[[2]int32]bool {
+	idx := map[[2]int32]bool{}
+	for p := range d.Papers {
+		for _, c := range d.Papers[p].Cites {
+			idx[[2]int32{int32(p), c}] = true
+		}
+	}
+	return idx
+}
+
+// SetWeights replaces the rule weights and recomputes the ground model.
+// Used by the weight learner between perceptron updates. NOT safe for
+// concurrent use with Match; a Matcher is immutable once handed to the
+// schemes.
+func (m *Matcher) SetWeights(w Weights) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	m.w = w
+	m.applyWeights()
+	return nil
+}
+
+// CurrentWeights returns the active rule weights.
+func (m *Matcher) CurrentWeights() Weights { return m.w }
+
+// NumPairs returns the number of ground match variables ("matching
+// decisions" in the paper's counting).
+func (m *Matcher) NumPairs() int { return len(m.pairs) }
+
+// Pairs returns all candidate pairs (aliases internal storage).
+func (m *Matcher) Pairs() []core.Pair { return m.pairs }
+
+// Level returns the similarity level of a candidate pair, or LevelNone.
+func (m *Matcher) Level(p core.Pair) similarity.Level {
+	if id, ok := m.idOf[p]; ok {
+		return m.level[id]
+	}
+	return similarity.LevelNone
+}
+
+// Candidates implements core.Matcher.
+func (m *Matcher) Candidates(entities []core.EntityID) []core.Pair {
+	ids := m.scopedIDs(entities)
+	out := make([]core.Pair, len(ids))
+	for i, id := range ids {
+		out[i] = m.pairs[id]
+	}
+	return out
+}
+
+// scopedIDs returns the ids of candidate pairs with both endpoints in the
+// entity set, in ascending id order.
+func (m *Matcher) scopedIDs(entities []core.EntityID) []int32 {
+	in := make(map[core.EntityID]bool, len(entities))
+	for _, e := range entities {
+		in[e] = true
+	}
+	var ids []int32
+	for _, e := range entities {
+		for _, id := range m.pairsOf[e] {
+			p := m.pairs[id]
+			if p.A == e && in[p.B] { // dedupe: count a pair at its A endpoint
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// Match implements core.Matcher: exact conditional MAP inference over the
+// candidate pairs inside the entity set. Evidence semantics follow §3.2:
+// pos pairs are conditioned true (in or out of scope — an out-of-scope
+// matched coauthor pair contributes its groundings as a unary bonus),
+// neg pairs are conditioned false.
+func (m *Matcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.PairSet {
+	lm := m.buildLocal(entities, pos, neg)
+	out := lm.out
+	if len(lm.free) == 0 {
+		return out
+	}
+	x := lm.solve(-1)
+	for fi, id := range lm.free {
+		if x[fi] {
+			out.Add(m.pairs[id])
+		}
+	}
+	return out
+}
+
+var (
+	_ core.Matcher            = (*Matcher)(nil)
+	_ core.Probabilistic      = (*Matcher)(nil)
+	_ core.ConditionalDecider = (*Matcher)(nil)
+)

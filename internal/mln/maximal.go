@@ -1,0 +1,180 @@
+package mln
+
+import (
+	"repro/internal/core"
+	"repro/internal/unionfind"
+)
+
+// localModel is the conditioned submodel of one neighborhood: the free
+// match variables with their effective unary weights (base weight plus
+// evidence-supported groundings) and the in-scope pairwise interactions.
+type localModel struct {
+	free  []int32 // candidate pair ids
+	eff   []float64
+	edges []Edge // indices refer to positions in free
+	deg   []int  // local interaction degree per free var
+	out   core.PairSet
+}
+
+// buildLocal assembles the conditioned submodel; out is pre-seeded with
+// the in-scope positive evidence (echoed in every Match output).
+func (m *Matcher) buildLocal(entities []core.EntityID, pos, neg core.PairSet) *localModel {
+	ids := m.scopedIDs(entities)
+	lm := &localModel{out: core.NewPairSet()}
+	slot := make(map[int32]int, len(ids))
+	for _, id := range ids {
+		p := m.pairs[id]
+		switch {
+		case neg.Has(p):
+		case pos.Has(p):
+			lm.out.Add(p)
+		default:
+			slot[id] = len(lm.free)
+			lm.free = append(lm.free, id)
+		}
+	}
+	lm.eff = make([]float64, len(lm.free))
+	lm.deg = make([]int, len(lm.free))
+	for fi, id := range lm.free {
+		lm.eff[fi] = m.unary[id] + m.w.TieEps
+		for _, e := range m.adj[id] {
+			w := m.w.Coauthor * float64(e.count)
+			if oj, ok := slot[e.other]; ok {
+				if e.other > id {
+					lm.edges = append(lm.edges, Edge{I: fi, J: oj, W: w})
+					lm.deg[fi]++
+					lm.deg[oj]++
+				}
+			} else if pos.Has(m.pairs[e.other]) {
+				lm.eff[fi] += w
+			}
+		}
+	}
+	return lm
+}
+
+// solve runs exact MAP on the local model with an optional clamped-true
+// variable (clamp < 0 for none) and returns the assignment.
+func (lm *localModel) solve(clamp int) []bool {
+	if clamp < 0 {
+		return SolveMAP(lm.eff, lm.edges)
+	}
+	unary := make([]float64, len(lm.eff))
+	copy(unary, lm.eff)
+	unary[clamp] = clampWeight
+	return SolveMAP(unary, lm.edges)
+}
+
+// clampWeight forces a variable true in conditioned probes; it dwarfs any
+// achievable score in a ground model.
+const clampWeight = 1e9
+
+// MaximalMessages implements core.MaximalMessenger — a specialized
+// Algorithm 2 for the ground MLN. It builds the conditioned submodel
+// once, decomposes it into connected components of the local interaction
+// graph (clamping a variable can only entail variables in its own
+// component, so each probe solves just its component), probes only free
+// pairs that can reach a non-negative score under total local support,
+// and derives the mutual-entailment groups from the probe solutions.
+func (m *Matcher) MaximalMessages(entities []core.EntityID, mPlus, neg, base core.PairSet) (msgs [][]core.Pair, calls int) {
+	lm := m.buildLocal(entities, mPlus, neg)
+	n := len(lm.free)
+	if n == 0 {
+		return nil, 0
+	}
+
+	// Connected components of the local interaction graph.
+	comp := unionfind.New(n)
+	for _, e := range lm.edges {
+		comp.Union(e.I, e.J)
+	}
+	members := map[int][]int{}
+	var roots []int
+	for fi := 0; fi < n; fi++ {
+		if lm.deg[fi] == 0 {
+			continue // isolated variables yield only singleton messages
+		}
+		r := comp.Find(fi)
+		if _, ok := members[r]; !ok {
+			roots = append(roots, r)
+		}
+		members[r] = append(members[r], fi)
+	}
+
+	// Local support available to each variable.
+	localMax := make([]float64, n)
+	copy(localMax, lm.eff)
+	for _, e := range lm.edges {
+		localMax[e.I] += e.W
+		localMax[e.J] += e.W
+	}
+	edgesOf := map[int][]Edge{}
+	for _, e := range lm.edges {
+		r := comp.Find(e.I)
+		edgesOf[r] = append(edgesOf[r], e)
+	}
+
+	for _, r := range roots {
+		vars := members[r]
+		if len(vars) < 2 {
+			continue
+		}
+		// Reindexed submodel for this component.
+		local := make(map[int]int, len(vars))
+		subEff := make([]float64, len(vars))
+		for li, fi := range vars {
+			local[fi] = li
+			subEff[li] = lm.eff[fi]
+		}
+		subEdges := make([]Edge, 0, len(edgesOf[r]))
+		for _, e := range edgesOf[r] {
+			subEdges = append(subEdges, Edge{I: local[e.I], J: local[e.J], W: e.W})
+		}
+		// Probe each viable variable in the component.
+		var probes []int // component-local indices
+		for li, fi := range vars {
+			p := m.pairs[lm.free[fi]]
+			if base.Has(p) || mPlus.Has(p) || localMax[fi] < 0 {
+				continue
+			}
+			probes = append(probes, li)
+		}
+		if len(probes) == 0 {
+			continue
+		}
+		outputs := make([][]bool, len(probes))
+		unary := make([]float64, len(subEff))
+		for pi, li := range probes {
+			copy(unary, subEff)
+			unary[li] = clampWeight
+			outputs[pi] = SolveMAP(unary, subEdges)
+			calls++
+		}
+		dsu := unionfind.New(len(probes))
+		for pi, li := range probes {
+			for qj := pi + 1; qj < len(probes); qj++ {
+				lj := probes[qj]
+				if outputs[pi][lj] && outputs[qj][li] {
+					dsu.Union(pi, qj)
+				}
+			}
+		}
+		byRoot := map[int][]core.Pair{}
+		var order []int
+		for pi, li := range probes {
+			gr := dsu.Find(pi)
+			if _, ok := byRoot[gr]; !ok {
+				order = append(order, gr)
+			}
+			byRoot[gr] = append(byRoot[gr], m.pairs[lm.free[vars[li]]])
+		}
+		for _, gr := range order {
+			if len(byRoot[gr]) >= 2 { // singletons are dropped by schedulers
+				msgs = append(msgs, byRoot[gr])
+			}
+		}
+	}
+	return msgs, calls
+}
+
+var _ core.MaximalMessenger = (*Matcher)(nil)

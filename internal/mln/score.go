@@ -1,0 +1,113 @@
+package mln
+
+import "repro/internal/core"
+
+// LogScore implements core.Probabilistic: the unnormalized log
+// probability of a global match set, log PE(S) + const = score(S) =
+// Σ_{p∈S} (unary(p) + ε) + Σ_{p,q∈S} coauthor groundings. Sets containing
+// non-candidate pairs have probability ≈ 0.
+func (m *Matcher) LogScore(s core.PairSet) float64 {
+	total := 0.0
+	for p := range s {
+		id, ok := m.idOf[p]
+		if !ok {
+			return nonCandidateLogScore
+		}
+		total += m.unary[id] + m.w.TieEps
+		for _, e := range m.adj[id] {
+			if s.Has(m.pairs[e.other]) {
+				// Each unordered (p, q) interaction is stored on both
+				// adjacency lists; halve to count it once.
+				total += m.w.Coauthor * float64(e.count) / 2
+			}
+		}
+	}
+	return total
+}
+
+// nonCandidateLogScore is returned for sets containing pairs outside the
+// model's variable universe.
+const nonCandidateLogScore = -1e12
+
+// ScoreDelta returns LogScore(s ∪ {p}) − LogScore(s) in O(deg p); it is
+// the cheap conditional-probability computation Algorithm 3's Step 7
+// depends on.
+func (m *Matcher) ScoreDelta(p core.Pair, s core.PairSet) float64 {
+	id, ok := m.idOf[p]
+	if !ok {
+		return nonCandidateLogScore
+	}
+	if s.Has(p) {
+		return 0
+	}
+	delta := m.unary[id] + m.w.TieEps
+	for _, e := range m.adj[id] {
+		if s.Has(m.pairs[e.other]) {
+			delta += m.w.Coauthor * float64(e.count)
+		}
+	}
+	return delta
+}
+
+// ScoreSetDelta implements core.DeltaScorer:
+// LogScore(s ∪ add) − LogScore(s) in O(|add|·deg), counting interactions
+// internal to add exactly once.
+func (m *Matcher) ScoreSetDelta(add []core.Pair, s core.PairSet) float64 {
+	added := make(map[core.Pair]bool, len(add))
+	total := 0.0
+	for _, p := range add {
+		if s.Has(p) || added[p] {
+			continue
+		}
+		id, ok := m.idOf[p]
+		if !ok {
+			return nonCandidateLogScore
+		}
+		total += m.unary[id] + m.w.TieEps
+		for _, e := range m.adj[id] {
+			q := m.pairs[e.other]
+			if s.Has(q) || added[q] {
+				total += m.w.Coauthor * float64(e.count)
+			}
+		}
+		added[p] = true
+	}
+	return total
+}
+
+// Probeable implements core.ProbeFilter for COMPUTEMAXIMAL: a pair is
+// worth probing only if it has interactions (otherwise its messages are
+// singletons, which the schedulers drop) and its score can turn
+// non-negative under total support. This prunes the probe set from k² to
+// the structurally relevant pairs without changing any output.
+func (m *Matcher) Probeable(p core.Pair) bool {
+	id, ok := m.idOf[p]
+	if !ok {
+		return false
+	}
+	if len(m.adj[id]) == 0 {
+		return false
+	}
+	best := m.unary[id] + m.w.TieEps
+	for _, e := range m.adj[id] {
+		best += m.w.Coauthor * float64(e.count)
+	}
+	return best >= 0
+}
+
+// DecideGiven implements core.ConditionalDecider for the UB oracle: p is
+// matched when its conditional score gain, with every other pair clamped
+// to its membership in given, is non-negative.
+func (m *Matcher) DecideGiven(p core.Pair, given core.PairSet) bool {
+	id, ok := m.idOf[p]
+	if !ok {
+		return false
+	}
+	delta := m.unary[id] + m.w.TieEps
+	for _, e := range m.adj[id] {
+		if given.Has(m.pairs[e.other]) {
+			delta += m.w.Coauthor * float64(e.count)
+		}
+	}
+	return delta >= 0
+}

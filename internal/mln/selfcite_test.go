@@ -1,0 +1,98 @@
+package mln
+
+import (
+	"testing"
+
+	"repro/internal/bib"
+	"repro/internal/core"
+)
+
+// citedDataset: two papers with the same medium-similarity author, where
+// the second paper cites the first, plus a control pair with no citation.
+func citedDataset() *bib.Dataset {
+	d := buildDataset([][]ref{
+		{{"V. Rastogi", 0}},
+		{{"Vibhor Rastogi", 0}},
+		{{"N. Dalvi", 1}},
+		{{"Nilesh Dalvi", 1}},
+	})
+	// Paper 1 cites paper 0 (the Rastogi pair); the Dalvi papers (2, 3)
+	// are citation-free.
+	d.Papers[1].Cites = []bib.PaperID{0}
+	return d
+}
+
+// TestSelfCiteRuleFlipsPair: with the citation rule enabled, the cited
+// medium pair matches while the control pair does not.
+func TestSelfCiteRuleFlipsPair(t *testing.T) {
+	d := citedDataset()
+	rastogi := core.MakePair(0, 1)
+	dalvi := core.MakePair(2, 3)
+
+	// Disabled (the paper's program): neither medium pair fires.
+	m := newMatcher(t, d)
+	out := m.Match(allRefs(d), nil, nil)
+	if out.Has(rastogi) || out.Has(dalvi) {
+		t.Fatalf("medium pairs fired without support: %v", out.Sorted())
+	}
+
+	// Enabled with a weight that overcomes Sim2: only the cited pair.
+	w := PaperWeights()
+	w.SelfCite = 4.0 // −3.84 + 4.0 > 0
+	if err := m.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	out = m.Match(allRefs(d), nil, nil)
+	if !out.Has(rastogi) {
+		t.Errorf("cited pair did not fire: %v", out.Sorted())
+	}
+	if out.Has(dalvi) {
+		t.Errorf("citation-free pair fired: %v", out.Sorted())
+	}
+}
+
+// TestSelfCitePreservesWellBehavedness: the rule is a unary feature, so
+// the matcher stays idempotent, monotone and supermodular.
+func TestSelfCitePreservesWellBehavedness(t *testing.T) {
+	d := citedDataset()
+	w := PaperWeights()
+	w.SelfCite = 4.0
+	m, err := New(d, allPairsCandidates(d), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities := allRefs(d)
+	rastogi := core.MakePair(0, 1)
+	dalvi := core.MakePair(2, 3)
+	if err := core.CheckIdempotence(m, entities, core.NewPairSet(), core.NewPairSet()); err != nil {
+		t.Error(err)
+	}
+	if err := core.CheckMonotonePositive(m, entities,
+		core.NewPairSet(), core.NewPairSet(dalvi), core.NewPairSet()); err != nil {
+		t.Error(err)
+	}
+	if err := core.CheckSupermodular(m, core.NewPairSet(),
+		core.NewPairSet(dalvi), rastogi, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelfCiteDirectionless: citation in either direction grounds the
+// rule (author self-citation is symmetric evidence for our purposes).
+func TestSelfCiteDirectionless(t *testing.T) {
+	d := buildDataset([][]ref{
+		{{"V. Rastogi", 0}},
+		{{"Vibhor Rastogi", 0}},
+	})
+	d.Papers[0].Cites = []bib.PaperID{1} // earlier paper cites later: odd but legal here
+	w := PaperWeights()
+	w.SelfCite = 4.0
+	m, err := New(d, allPairsCandidates(d), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Match(allRefs(d), nil, nil)
+	if !out.Has(core.MakePair(0, 1)) {
+		t.Errorf("reverse-direction citation not grounded: %v", out.Sorted())
+	}
+}

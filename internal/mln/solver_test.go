@@ -1,0 +1,144 @@
+package mln
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMAP enumerates all assignments.
+func bruteMAP(unary []float64, edges []Edge) ([]bool, float64) {
+	n := len(unary)
+	bestScore := math.Inf(-1)
+	bestMask := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		score := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				score += unary[i]
+			}
+		}
+		for _, e := range edges {
+			if mask&(1<<e.I) != 0 && mask&(1<<e.J) != 0 {
+				score += e.W
+			}
+		}
+		if score > bestScore {
+			bestScore, bestMask = score, mask
+		}
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = bestMask&(1<<i) != 0
+	}
+	return out, bestScore
+}
+
+func TestSolveMAPEmpty(t *testing.T) {
+	if got := SolveMAP(nil, nil); got != nil {
+		t.Errorf("empty problem = %v", got)
+	}
+}
+
+func TestSolveMAPUnaryOnly(t *testing.T) {
+	x := SolveMAP([]float64{1, -1, 0.5, -0.5}, nil)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveMAPChainExample(t *testing.T) {
+	// The paper's 3-chain: three pairs at −5 with two +8 interactions.
+	// Alone each is negative; together they are +1.
+	unary := []float64{-5, -5, -5}
+	edges := []Edge{{0, 1, 8}, {1, 2, 8}}
+	x := SolveMAP(unary, edges)
+	for i, v := range x {
+		if !v {
+			t.Fatalf("x[%d] = false; the chain must be matched collectively", i)
+		}
+	}
+	// Break the chain: with only one interaction the optimum is empty.
+	x = SolveMAP(unary, edges[:1])
+	for i, v := range x {
+		if v {
+			t.Fatalf("x[%d] = true; -10+8 must not match", i)
+		}
+	}
+}
+
+func TestSolveMAPAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(10)
+		unary := make([]float64, n)
+		for i := range unary {
+			unary[i] = (rng.Float64() - 0.7) * 10 // mostly negative
+			if rng.Intn(5) == 0 {
+				unary[i] = 0 // exercise ties
+			}
+		}
+		var edges []Edge
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			edges = append(edges, Edge{i, j, rng.Float64() * 8})
+		}
+		x := SolveMAP(unary, edges)
+		_, wantScore := bruteMAP(unary, edges)
+		gotScore := ScoreAssignment(unary, edges, x)
+		if math.Abs(gotScore-wantScore) > 1e-6 {
+			t.Fatalf("trial %d: SolveMAP score %v != brute %v (unary=%v edges=%v)",
+				trial, gotScore, wantScore, unary, edges)
+		}
+	}
+}
+
+func TestSolveMAPTieBreakWithEps(t *testing.T) {
+	// A zero-weight variable is a tie; with an inclusion bonus it must be
+	// matched (the "largest most-likely set" of Definition 5).
+	const eps = 1e-9
+	x := SolveMAP([]float64{0 + eps}, nil)
+	if !x[0] {
+		t.Error("eps-boosted zero variable must be included")
+	}
+}
+
+func TestScoreAssignment(t *testing.T) {
+	unary := []float64{1, 2}
+	edges := []Edge{{0, 1, 4}}
+	if got := ScoreAssignment(unary, edges, []bool{true, true}); got != 7 {
+		t.Errorf("score = %v, want 7", got)
+	}
+	if got := ScoreAssignment(unary, edges, []bool{true, false}); got != 1 {
+		t.Errorf("score = %v, want 1", got)
+	}
+	if got := ScoreAssignment(unary, edges, []bool{false, false}); got != 0 {
+		t.Errorf("score = %v, want 0", got)
+	}
+}
+
+func BenchmarkSolveMAP(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 200
+	unary := make([]float64, n)
+	for i := range unary {
+		unary[i] = (rng.Float64() - 0.7) * 10
+	}
+	var edges []Edge
+	for e := 0; e < 3*n; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			edges = append(edges, Edge{i, j, rng.Float64() * 8})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveMAP(unary, edges)
+	}
+}

@@ -1,0 +1,10 @@
+package rules
+
+// Hard equality seeds — the Dedupalog rule "equals(x, y) ⇐ AuthorEQ(x, y)"
+// of Appendix A — need no dedicated machinery in this framework: an
+// externally known equality predicate is exactly the V+ evidence slot of
+// Definition 1. Supply the known-equal pairs as core.Config's initial
+// evidence (or as the pos argument of Matcher.Match) and every scheme
+// treats them as unretractable matches; hard *inequalities* are the
+// Negative slot. This note exists so readers looking for Dedupalog's
+// hard-rule surface find the intended mapping.

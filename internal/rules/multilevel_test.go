@@ -1,0 +1,69 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// TestMultipleRulesSameLevel: when several rules target the same level,
+// the *least demanding* one governs (a disjunction of rule bodies).
+func TestMultipleRulesSameLevel(t *testing.T) {
+	d := buildDataset([][]ref{
+		{{"V. Rastogi", 0}, {"Nilesh Dalvi", 1}},
+		{{"V. Rastogi", 0}, {"Nilesh Dalvi", 1}},
+	})
+	prog := []Rule{
+		{Level: similarity.LevelMedium, MinCoauthorMatches: 3},
+		{Level: similarity.LevelMedium, MinCoauthorMatches: 1}, // governs
+		{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
+	}
+	m, err := New(d, allPairsCandidates(d), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Match(allRefs(d), nil, nil)
+	// The strong Dalvi pair fires by rule 3, giving the medium Rastogi
+	// pair its single required support via the 1-coauthor rule.
+	if !out.Has(core.MakePair(0, 2)) {
+		t.Fatalf("least-demanding same-level rule not applied: %v", out.Sorted())
+	}
+}
+
+// TestNoRuleForLevel: candidates at levels with no rule never fire.
+func TestNoRuleForLevel(t *testing.T) {
+	d := buildDataset([][]ref{
+		{{"Vibhor Rastogi", 0}},
+		{{"Vibhor Rastogi", 0}},
+	})
+	prog := []Rule{{Level: similarity.LevelMedium, MinCoauthorMatches: 0}}
+	m, err := New(d, allPairsCandidates(d), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Match(allRefs(d), nil, nil)
+	if out.Len() != 0 {
+		t.Fatalf("strong pair fired with no strong rule: %v", out.Sorted())
+	}
+}
+
+// TestEmptyProgram: an empty rule set matches only the evidence echo.
+func TestEmptyProgram(t *testing.T) {
+	d := buildDataset([][]ref{
+		{{"Vibhor Rastogi", 0}},
+		{{"Vibhor Rastogi", 0}},
+	})
+	m, err := New(d, allPairsCandidates(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Match(allRefs(d), nil, nil); out.Len() != 0 {
+		t.Fatalf("empty program matched: %v", out.Sorted())
+	}
+	p := core.MakePair(0, 1)
+	out := m.Match(allRefs(d), core.NewPairSet(p), nil)
+	if !out.Has(p) {
+		t.Fatal("in-scope positive evidence must be echoed")
+	}
+}

@@ -1,0 +1,292 @@
+// Package rules implements the paper's second matcher, RULES: a
+// declarative collective matcher in the style of Dedupalog (Arasu, Ré &
+// Suciu, reference [2]), restricted to the monotone fragment Dedupalog*
+// of Appendix A (no negation, transitive closure as a derivation step
+// rather than a global constraint — Proposition 5 shows this fragment is
+// monotone, so SMP is sound and, empirically, complete for it).
+//
+// The concrete program is the Appendix B rule set:
+//
+//  1. similar(e1,e2,3) ⇒ equals(e1,e2)
+//  2. similar(e1,e2,2) ∧ one matched coauthor pair   ⇒ equals(e1,e2)
+//  3. similar(e1,e2,1) ∧ two distinct matched pairs  ⇒ equals(e1,e2)
+//
+// evaluated by a semi-naive fixpoint interleaved with transitive closure,
+// which mirrors "the 3-approximate algorithm in [2] … followed by a
+// transitive closure".
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bib"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/similarity"
+	"repro/internal/unionfind"
+)
+
+// Rule is one threshold rule of the Dedupalog* program: a pair at exactly
+// Level fires when at least MinCoauthorMatches distinct coauthor pairs
+// are already matched (a shared identical coauthor reference counts as
+// matched by reflexivity).
+type Rule struct {
+	Level              similarity.Level
+	MinCoauthorMatches int
+}
+
+// PaperRules returns the Appendix B program.
+func PaperRules() []Rule {
+	return []Rule{
+		{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
+		{Level: similarity.LevelMedium, MinCoauthorMatches: 1},
+		{Level: similarity.LevelWeak, MinCoauthorMatches: 2},
+	}
+}
+
+// Candidate is a match variable: a reference pair with its level.
+type Candidate struct {
+	Pair  core.Pair
+	Level similarity.Level
+}
+
+// Matcher is the ground RULES program over one dataset. It implements
+// core.Matcher (Type-I only — RULES is not probabilistic, so MMP does not
+// apply; Appendix C evaluates it with NO-MP, SMP and FULL). The model is
+// immutable after construction and safe for concurrent use.
+type Matcher struct {
+	rules    []Rule
+	co       *graph.Graph
+	pairs    []core.Pair
+	idOf     map[core.Pair]int32
+	level    []similarity.Level
+	pairsOf  [][]int32
+	applyTC  bool
+	maxLevel map[similarity.Level][]Rule // rules indexed by level
+}
+
+// Option configures a Matcher.
+type Option func(*Matcher)
+
+// WithInterleavedClosure enables transitive closure *inside* the rule
+// fixpoint (Dedupalog's global-constraint semantics). The default is off,
+// matching the paper's own evaluation ("we use the 3-approximate
+// algorithm … WITHOUT transitive closure, followed by a transitive
+// closure at the end", Appendix B): interleaved closure uses pairs that
+// never share a neighborhood and therefore breaks the exact
+// SMP-equals-FULL property; end-of-run closure (a harness step) does not.
+func WithInterleavedClosure() Option {
+	return func(m *Matcher) { m.applyTC = true }
+}
+
+// New grounds the program for a dataset over candidate pairs.
+func New(d *bib.Dataset, cands []Candidate, rs []Rule, opts ...Option) (*Matcher, error) {
+	m := &Matcher{
+		rules:    rs,
+		co:       d.Coauthor(),
+		pairs:    make([]core.Pair, len(cands)),
+		idOf:     make(map[core.Pair]int32, len(cands)),
+		level:    make([]similarity.Level, len(cands)),
+		pairsOf:  make([][]int32, d.NumRefs()),
+		applyTC:  false,
+		maxLevel: map[similarity.Level][]Rule{},
+	}
+	for _, r := range rs {
+		if r.MinCoauthorMatches < 0 {
+			return nil, fmt.Errorf("rules: negative coauthor requirement")
+		}
+		m.maxLevel[r.Level] = append(m.maxLevel[r.Level], r)
+	}
+	for i, c := range cands {
+		if !c.Pair.Valid() {
+			return nil, fmt.Errorf("rules: invalid candidate pair %v", c.Pair)
+		}
+		if _, dup := m.idOf[c.Pair]; dup {
+			return nil, fmt.Errorf("rules: duplicate candidate pair %v", c.Pair)
+		}
+		m.pairs[i] = c.Pair
+		m.idOf[c.Pair] = int32(i)
+		m.level[i] = c.Level
+		m.pairsOf[c.Pair.A] = append(m.pairsOf[c.Pair.A], int32(i))
+		m.pairsOf[c.Pair.B] = append(m.pairsOf[c.Pair.B], int32(i))
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// NumPairs returns the number of ground candidates.
+func (m *Matcher) NumPairs() int { return len(m.pairs) }
+
+// Candidates implements core.Matcher.
+func (m *Matcher) Candidates(entities []core.EntityID) []core.Pair {
+	in := make(map[core.EntityID]bool, len(entities))
+	for _, e := range entities {
+		in[e] = true
+	}
+	var out []core.Pair
+	for _, e := range entities {
+		for _, id := range m.pairsOf[e] {
+			p := m.pairs[id]
+			if p.A == e && in[p.B] {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// matchedCoauthorPairs counts distinct coauthor-pair support for p given
+// the current equals set: unordered pairs (c1, c2) with c1 ∈ N(p.A),
+// c2 ∈ N(p.B), and either c1 == c2 (reflexivity) or (c1, c2) ∈ equals.
+// Counting stops at enough, keeping rule checks cheap.
+func (m *Matcher) matchedCoauthorPairs(p core.Pair, equals core.PairSet, enough int) int {
+	if enough == 0 {
+		return 0
+	}
+	seen := map[core.Pair]bool{}
+	count := 0
+	for _, c1 := range m.co.Neighbors(p.A) {
+		for _, c2 := range m.co.Neighbors(p.B) {
+			var q core.Pair
+			if c1 == c2 {
+				q = core.Pair{A: c1, B: c1} // reflexive marker
+			} else {
+				q = core.MakePair(c1, c2)
+				if !equals.Has(q) {
+					continue
+				}
+			}
+			if !seen[q] {
+				seen[q] = true
+				count++
+				if count >= enough {
+					return count
+				}
+			}
+		}
+	}
+	return count
+}
+
+// fires reports whether any rule derives p under equals.
+func (m *Matcher) fires(id int32, equals core.PairSet) bool {
+	rules := m.maxLevel[m.level[id]]
+	if len(rules) == 0 {
+		return false
+	}
+	need := -1
+	for _, r := range rules {
+		if need < 0 || r.MinCoauthorMatches < need {
+			need = r.MinCoauthorMatches
+		}
+	}
+	if need == 0 {
+		return true
+	}
+	return m.matchedCoauthorPairs(m.pairs[id], equals, need) >= need
+}
+
+// Match implements core.Matcher: semi-naive fixpoint of the rules over
+// the in-scope candidates, interleaved with transitive closure over the
+// in-scope entities, seeded by the positive evidence (which, like the
+// MLN matcher, is consulted globally for coauthor support). Negative
+// evidence suppresses pairs from derivation and output.
+func (m *Matcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.PairSet {
+	in := make(map[core.EntityID]int32, len(entities))
+	for i, e := range entities {
+		in[e] = int32(i)
+	}
+	var scoped []int32
+	for _, e := range entities {
+		for _, id := range m.pairsOf[e] {
+			p := m.pairs[id]
+			if p.A == e {
+				if _, ok := in[p.B]; ok {
+					scoped = append(scoped, id)
+				}
+			}
+		}
+	}
+	sort.Slice(scoped, func(a, b int) bool { return scoped[a] < scoped[b] })
+
+	// equals holds the global view: all positive evidence plus everything
+	// derived so far. out holds the in-scope portion.
+	equals := pos.Clone()
+	out := core.NewPairSet()
+	for p := range pos {
+		if neg.Has(p) {
+			continue
+		}
+		_, okA := in[p.A]
+		_, okB := in[p.B]
+		if okA && okB {
+			out.Add(p)
+		}
+	}
+
+	for {
+		changed := false
+		for _, id := range scoped {
+			p := m.pairs[id]
+			if equals.Has(p) || neg.Has(p) {
+				continue
+			}
+			if m.fires(id, equals) {
+				equals.Add(p)
+				out.Add(p)
+				changed = true
+			}
+		}
+		if m.applyTC && m.closeTransitively(entities, in, equals, neg, out) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// closeTransitively adds, for every connected component of in-scope
+// matched pairs, all missing component pairs (except negated ones) to
+// equals/out. Reports whether anything was added.
+func (m *Matcher) closeTransitively(entities []core.EntityID, in map[core.EntityID]int32, equals, neg, out core.PairSet) bool {
+	dsu := unionfind.New(len(entities))
+	for p := range out {
+		dsu.Union(int(in[p.A]), int(in[p.B]))
+	}
+	members := map[int][]core.EntityID{}
+	for i, e := range entities {
+		r := dsu.Find(i)
+		members[r] = append(members[r], e)
+	}
+	changed := false
+	for _, comp := range members {
+		if len(comp) < 2 {
+			continue
+		}
+		for i := 0; i < len(comp); i++ {
+			for j := i + 1; j < len(comp); j++ {
+				p := core.MakePair(comp[i], comp[j])
+				if equals.Has(p) || neg.Has(p) {
+					continue
+				}
+				equals.Add(p)
+				out.Add(p)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+var _ core.Matcher = (*Matcher)(nil)

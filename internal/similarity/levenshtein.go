@@ -1,0 +1,50 @@
+package similarity
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of single-character insertions, deletions and substitutions that
+// transform a into b. It runs in O(len(a)·len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// prev[j] = distance between a[:i] and b[:j] from previous row.
+	prev := make([]int, len(a)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(b); i++ {
+		cur := i
+		diag := prev[0] // prev[j-1] before overwrite
+		prev[0] = i
+		for j := 1; j <= len(a); j++ {
+			cost := 1
+			if b[i-1] == a[j-1] {
+				cost = 0
+			}
+			next := diag + cost
+			if v := cur + 1; v < next {
+				next = v
+			}
+			if v := prev[j] + 1; v < next {
+				next = v
+			}
+			diag = prev[j]
+			prev[j] = next
+			cur = next
+		}
+	}
+	return prev[len(a)]
+}
+
+// LevenshteinSimilarity normalizes the edit distance into a similarity in
+// [0, 1]: 1 - dist/max(len(a), len(b)). Two empty strings have similarity 1.
+func LevenshteinSimilarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(max(len(a), len(b)))
+}

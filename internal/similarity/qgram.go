@@ -1,0 +1,58 @@
+package similarity
+
+import "strings"
+
+// QGrams returns the multiset of q-grams of s as a map from gram to count.
+// Strings shorter than q yield a single gram equal to the whole string,
+// so that very short names still participate in gram-based indexing.
+func QGrams(s string, q int) map[string]int {
+	out := make(map[string]int)
+	if q <= 0 {
+		return out
+	}
+	if len(s) < q {
+		if len(s) > 0 {
+			out[s]++
+		}
+		return out
+	}
+	for i := 0; i+q <= len(s); i++ {
+		out[s[i:i+q]]++
+	}
+	return out
+}
+
+// QGramJaccard returns the Jaccard similarity of the q-gram *sets* of a
+// and b in [0, 1]. It is the cheap similarity used to build canopies.
+func QGramJaccard(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if _, ok := gb[g]; ok {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	return float64(inter) / float64(union)
+}
+
+// TokenSet splits s on whitespace, lowercases each token and returns the
+// distinct tokens. Used by the canopy index to key author names.
+func TokenSet(s string) []string {
+	fields := strings.Fields(strings.ToLower(s))
+	seen := make(map[string]bool, len(fields))
+	out := fields[:0]
+	for _, f := range fields {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package testmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAddPairAndInteraction(t *testing.T) {
+	m := New(4)
+	p := m.AddPair(1, 0, -2) // normalized
+	if p != core.MakePair(0, 1) {
+		t.Fatalf("AddPair returned %v", p)
+	}
+	q := m.AddPair(2, 3, 1)
+	m.AddInteraction(p, q, 5)
+	if m.Inter[MakeInteraction(q, p)] != 5 {
+		t.Error("interaction not stored under normalized key")
+	}
+}
+
+func TestAddInteractionPanics(t *testing.T) {
+	m := New(4)
+	p := m.AddPair(0, 1, 1)
+	q := m.AddPair(2, 3, 1)
+	assertPanics(t, func() { m.AddInteraction(p, q, -1) }, "negative weight")
+	assertPanics(t, func() { m.AddInteraction(p, core.MakePair(0, 3), 1) }, "undeclared pair")
+}
+
+func assertPanics(t *testing.T, f func(), what string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic: %s", what)
+		}
+	}()
+	f()
+}
+
+func TestMakeInteractionNormalizes(t *testing.T) {
+	p, q := core.MakePair(2, 3), core.MakePair(0, 1)
+	a, b := MakeInteraction(p, q), MakeInteraction(q, p)
+	if a != b {
+		t.Errorf("interaction keys differ: %v vs %v", a, b)
+	}
+	if a.P != q {
+		t.Errorf("smaller pair must come first: %+v", a)
+	}
+}
+
+func TestCandidatesScoping(t *testing.T) {
+	m := New(6)
+	m.AddPair(0, 1, 1)
+	m.AddPair(2, 3, 1)
+	m.AddPair(4, 5, 1)
+	got := m.Candidates([]core.EntityID{0, 1, 2, 3})
+	if len(got) != 2 {
+		t.Fatalf("Candidates = %v", got)
+	}
+	// Deterministic order.
+	if got[0] != core.MakePair(0, 1) || got[1] != core.MakePair(2, 3) {
+		t.Errorf("order wrong: %v", got)
+	}
+	// Partial scope excludes straddling pairs.
+	got = m.Candidates([]core.EntityID{0, 2, 3})
+	if len(got) != 1 || got[0] != core.MakePair(2, 3) {
+		t.Errorf("straddling pair not excluded: %v", got)
+	}
+}
+
+// TestMatchIsLogScoreArgmax: brute-force Match must maximize LogScore.
+func TestMatchIsLogScoreArgmax(t *testing.T) {
+	m, _, _ := PaperExample()
+	all := make([]core.EntityID, m.N)
+	for i := range all {
+		all[i] = core.EntityID(i)
+	}
+	out := m.Match(all, nil, nil)
+	cands := m.Candidates(all)
+	best := math.Inf(-1)
+	var bestSet core.PairSet
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		s := core.NewPairSet()
+		for i, p := range cands {
+			if mask&(1<<i) != 0 {
+				s.Add(p)
+			}
+		}
+		if sc := m.LogScore(s); sc > best {
+			best, bestSet = sc, s
+		}
+	}
+	if !out.Equal(bestSet) {
+		t.Fatalf("Match = %v (%.6f), argmax = %v (%.6f)",
+			out.Sorted(), m.LogScore(out), bestSet.Sorted(), best)
+	}
+}
+
+func TestLogScoreNonCandidate(t *testing.T) {
+	m := New(4)
+	m.AddPair(0, 1, 1)
+	if sc := m.LogScore(core.NewPairSet(core.MakePair(2, 3))); sc > -1e11 {
+		t.Errorf("non-candidate set scored %v", sc)
+	}
+}
+
+func TestDecideGiven(t *testing.T) {
+	m, _, ids := PaperExample()
+	b23 := core.MakePair(ids["b2"], ids["b3"])
+	a12 := core.MakePair(ids["a1"], ids["a2"])
+	// (b2,b3) alone: -5 → no.
+	if m.DecideGiven(b23, core.NewPairSet()) {
+		t.Error("unsupported pair decided true")
+	}
+	// Given (a1,a2): -5+8 → yes.
+	if !m.DecideGiven(b23, core.NewPairSet(a12)) {
+		t.Error("supported pair decided false")
+	}
+	if m.DecideGiven(core.MakePair(90, 91), core.NewPairSet()) {
+		t.Error("unknown pair decided true")
+	}
+}
+
+func TestRelationCoversInteractions(t *testing.T) {
+	m, _, ids := PaperExample()
+	rel := m.Relation()
+	// Interaction (b1,b2)↔(c1,c2) must relate b-side to c-side entities.
+	if !rel.HasEdge(ids["b1"], ids["c1"]) {
+		t.Error("relation missing interaction edge")
+	}
+	// Pair endpoints related too.
+	if !rel.HasEdge(ids["a1"], ids["a2"]) {
+		t.Error("relation missing pair edge")
+	}
+	if m.Relation() != rel {
+		t.Error("relation must be cached")
+	}
+}
+
+func TestEvidenceSemantics(t *testing.T) {
+	m, _, ids := PaperExample()
+	all := make([]core.EntityID, m.N)
+	for i := range all {
+		all[i] = core.EntityID(i)
+	}
+	b23 := core.MakePair(ids["b2"], ids["b3"])
+	c23 := core.MakePair(ids["c2"], ids["c3"])
+	// Negative evidence on (b2,b3) kills the chain: (a1,a2) and (c2,c3)
+	// lose their only support.
+	out := m.Match(all, nil, core.NewPairSet(b23))
+	if out.Has(b23) || out.Has(c23) || out.Has(core.MakePair(ids["a1"], ids["a2"])) {
+		t.Errorf("negative evidence ignored: %v", out.Sorted())
+	}
+	// The anchored pairs survive.
+	if !out.Has(core.MakePair(ids["c1"], ids["c2"])) {
+		t.Errorf("independent matches lost: %v", out.Sorted())
+	}
+}
+
+func TestBruteForcePanicGuard(t *testing.T) {
+	m := New(60)
+	for i := int32(0); i+1 < 60; i += 2 {
+		m.AddPair(i, i+1, 0)
+	}
+	all := make([]core.EntityID, 60)
+	for i := range all {
+		all[i] = core.EntityID(i)
+	}
+	assertPanics(t, func() { m.Match(all, nil, nil) }, "too many free variables")
+}
