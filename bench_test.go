@@ -9,6 +9,8 @@ package cem_test
 // and see cmd/embench for the full-scale, human-readable reproduction.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -54,18 +56,40 @@ func BenchmarkAblationCover(b *testing.B) {
 
 // --- scheme-level micro-benchmarks over a fixed experiment ------------
 
-func benchScheme(b *testing.B, kind cem.DatasetKind, s cem.Scheme, m cem.MatcherKind) {
+func benchScheme(b *testing.B, kind cem.DatasetKind, s cem.Scheme, m string, opts ...cem.RunnerOption) {
 	b.Helper()
-	exp, err := cem.Setup(cem.NewDataset(kind, 0.25, 42), cem.DefaultOptions())
+	exp, err := cem.New(cem.NewDataset(kind, 0.25, 42))
 	if err != nil {
 		b.Fatal(err)
 	}
+	runner, err := exp.Runner(m, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(s, m); err != nil {
+		if _, err := runner.Run(ctx, s); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- parallel vs serial NO-MP (the worker-pool win; outputs identical) --
+
+func BenchmarkNoMPSerialHepth(b *testing.B) {
+	benchScheme(b, cem.HEPTH, cem.SchemeNoMP, cem.MatcherMLN, cem.WithParallelism(1))
+}
+func BenchmarkNoMPParallelHepth(b *testing.B) {
+	benchScheme(b, cem.HEPTH, cem.SchemeNoMP, cem.MatcherMLN,
+		cem.WithParallelism(runtime.NumCPU()))
+}
+func BenchmarkNoMPSerialDblp(b *testing.B) {
+	benchScheme(b, cem.DBLP, cem.SchemeNoMP, cem.MatcherMLN, cem.WithParallelism(1))
+}
+func BenchmarkNoMPParallelDblp(b *testing.B) {
+	benchScheme(b, cem.DBLP, cem.SchemeNoMP, cem.MatcherMLN,
+		cem.WithParallelism(runtime.NumCPU()))
 }
 
 func BenchmarkNoMPMLNHepth(b *testing.B) { benchScheme(b, cem.HEPTH, cem.SchemeNoMP, cem.MatcherMLN) }
@@ -88,22 +112,27 @@ func BenchmarkSetup(b *testing.B) {
 	d := cem.NewDataset(cem.HEPTH, 0.25, 42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cem.Setup(d, cem.DefaultOptions()); err != nil {
+		if _, err := cem.New(d); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkGridSMP measures the parallel rounds-based executor.
+// BenchmarkGridSMP measures the simulated-grid rounds-based executor.
 func BenchmarkGridSMP(b *testing.B) {
-	exp, err := cem.Setup(cem.NewDataset(cem.DBLP, 0.25, 42), cem.DefaultOptions())
+	exp, err := cem.New(cem.NewDataset(cem.DBLP, 0.25, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := exp.Runner(cem.MatcherMLN)
 	if err != nil {
 		b.Fatal(err)
 	}
 	g := grid.Config{Machines: 8, RoundOverhead: 0, Seed: 1}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunGrid(cem.SchemeSMP, cem.MatcherMLN, g); err != nil {
+		if _, err := runner.RunGrid(ctx, cem.SchemeSMP, g); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,7 +2,7 @@
 // repository: a from-scratch Go reproduction of "Large-Scale Collective
 // Entity Matching" (Rastogi, Dalvi, Garofalakis; PVLDB 4(4), 2011).
 //
-// The paper's contribution is a framework that scales any black-box
+// The paper's contribution is a framework that scales ANY black-box
 // collective entity matcher by running it on small overlapping
 // neighborhoods (a total cover) and passing messages between them:
 //
@@ -15,32 +15,49 @@
 //   - FULL   — the matcher on the whole dataset (reference, when feasible),
 //   - UB     — a ground-truth-conditioned upper bound on the full run.
 //
-// Two collective matchers are provided: MLN, the Markov-Logic matcher of
-// Singla & Domingos with the paper's Appendix B rules and exact
-// graph-cut MAP inference, and RULES, a Dedupalog-style monotone rule
-// program. Synthetic bibliography generators reproduce the statistical
-// regimes of the paper's HEPTH, DBLP and DBLP-BIG corpora.
+// The engine is generic over the matcher: implementations of the
+// interfaces in repro/match plug in through RegisterMatcher, with no
+// access to internal packages required. Two collective matchers ship as
+// built-ins — "mln", the Markov-Logic matcher of Singla & Domingos with
+// the paper's Appendix B rules and exact graph-cut MAP inference, and
+// "rules", a Dedupalog-style monotone rule program. Synthetic
+// bibliography generators reproduce the statistical regimes of the
+// paper's HEPTH, DBLP and DBLP-BIG corpora.
 //
 // Quick start:
 //
 //	ds := cem.NewDataset(cem.HEPTH, 0.5, 42)
-//	exp, err := cem.Setup(ds, cem.DefaultOptions())
-//	res, err := exp.Run(cem.SchemeMMP, cem.MatcherMLN)
+//	exp, err := cem.New(ds)
+//	runner, err := exp.Runner("mln", cem.WithParallelism(runtime.NumCPU()))
+//	res, err := runner.Run(ctx, cem.SchemeMMP)
 //	fmt.Println(exp.Evaluate(res))
+//
+// Custom matchers register once (typically from an init function) and
+// are then available to every Experiment:
+//
+//	cem.RegisterMatcher("mine", func(mc cem.MatcherContext) (match.Matcher, error) {
+//		return myMatcher{cands: mc.Candidates}, nil
+//	})
+//
+// Runs accept a context.Context for cancellation and deadlines, and
+// WithParallelism(n) evaluates independent neighborhoods concurrently —
+// NO-MP on a worker pool, SMP/MMP in the grid executor's round-based
+// map/reduce structure on shared memory — without changing the output
+// (consistency, Theorems 2 and 4).
 package cem
 
 import (
 	"fmt"
+	"sync"
 
-	"repro/internal/bib"
 	"repro/internal/canopy"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/eval"
-	"repro/internal/grid"
 	"repro/internal/mln"
 	"repro/internal/rules"
 	"repro/internal/unionfind"
+	"repro/match"
 )
 
 // DatasetKind selects one of the paper's three corpus regimes.
@@ -68,24 +85,37 @@ const (
 	SchemeUB   Scheme = "ub"
 )
 
-// MatcherKind selects the underlying black-box matcher.
-type MatcherKind string
+// MatcherKind names a registered matcher.
+//
+// Deprecated: matcher selection is by registry name (a plain string);
+// use the constants below or the name passed to RegisterMatcher.
+type MatcherKind = string
 
 const (
 	// MatcherMLN is the Type-II probabilistic Markov-Logic matcher.
-	MatcherMLN MatcherKind = "mln"
+	MatcherMLN = "mln"
 	// MatcherRules is the Type-I Dedupalog*-style matcher.
-	MatcherRules MatcherKind = "rules"
+	MatcherRules = "rules"
 )
 
-// Options configures Setup.
+// CanopyConfig controls cover construction (canopy thresholds and the
+// relational boundary absorbed into each neighborhood). Aliased here so
+// external modules can name it without importing internal packages.
+type CanopyConfig = canopy.Config
+
+// MLNWeights are the built-in Markov-Logic matcher's rule weights.
+type MLNWeights = mln.Weights
+
+// Options configures experiment construction. Prefer the functional
+// Option helpers with New; the struct remains for the deprecated Setup
+// path.
 type Options struct {
 	// Canopy controls cover construction.
-	Canopy canopy.Config
+	Canopy CanopyConfig
 	// MLNWeights are the Markov-Logic rule weights.
-	MLNWeights mln.Weights
+	MLNWeights MLNWeights
 	// Rules is the RULES program.
-	Rules []rules.Rule
+	Rules []match.Rule
 }
 
 // DefaultOptions returns the paper's configuration: default canopies,
@@ -98,140 +128,162 @@ func DefaultOptions() Options {
 	}
 }
 
+// Option customizes experiment construction (New).
+type Option func(*Options)
+
+// WithCanopy overrides the cover-construction configuration (start
+// from DefaultOptions().Canopy).
+func WithCanopy(c CanopyConfig) Option {
+	return func(o *Options) { o.Canopy = c }
+}
+
+// WithMLNWeights overrides the built-in MLN matcher's rule weights.
+func WithMLNWeights(w MLNWeights) Option {
+	return func(o *Options) { o.MLNWeights = w }
+}
+
+// WithRules overrides the built-in RULES matcher's rule program.
+func WithRules(rs []match.Rule) Option {
+	return func(o *Options) { o.Rules = rs }
+}
+
 // NewDataset generates a synthetic corpus of the given kind. Scale 1.0 is
 // a workstation-sized instance (thousands of references); larger scales
 // approach the paper's corpus sizes. Generation is deterministic in seed.
-func NewDataset(kind DatasetKind, scale float64, seed int64) *bib.Dataset {
+// Panics on an unknown kind; GenerateDataset is the error-returning
+// variant.
+func NewDataset(kind DatasetKind, scale float64, seed int64) *match.Dataset {
+	d, err := GenerateDataset(kind, scale, seed)
+	if err != nil {
+		panic(err.Error())
+	}
+	return d
+}
+
+// GenerateDataset generates a synthetic corpus of the given kind,
+// reporting unknown kinds and generation failures as errors.
+func GenerateDataset(kind DatasetKind, scale float64, seed int64) (*match.Dataset, error) {
+	var cfg datagen.Config
 	switch kind {
 	case HEPTH:
-		return datagen.MustGenerate(datagen.HEPTHLike(scale, seed))
+		cfg = datagen.HEPTHLike(scale, seed)
 	case DBLP:
-		return datagen.MustGenerate(datagen.DBLPLike(scale, seed))
+		cfg = datagen.DBLPLike(scale, seed)
 	case DBLPBig:
-		return datagen.MustGenerate(datagen.DBLPBigLike(scale, seed))
+		cfg = datagen.DBLPBigLike(scale, seed)
 	default:
-		panic(fmt.Sprintf("cem: unknown dataset kind %q", kind))
+		return nil, fmt.Errorf("cem: unknown dataset kind %q", kind)
 	}
+	return datagen.Generate(cfg)
 }
 
 // Experiment is a fully wired instance: dataset, total cover, candidate
-// pairs, both matchers, and ground truth. Build one with Setup.
+// pairs, the built-in matchers, and ground truth. Build one with New.
 type Experiment struct {
-	Dataset    *bib.Dataset
+	Dataset    *match.Dataset
 	Cover      *core.Cover
-	Candidates []canopy.SimilarPair
+	Candidates []match.Candidate
 	MLN        *mln.Matcher
 	Rules      *rules.Matcher
-	Truth      core.PairSet
+	Truth      match.PairSet
+
+	opts Options
+
+	mu    sync.Mutex
+	built map[string]match.Matcher // lazily built registry matchers
 }
 
-// Setup builds the total cover (canopies + Coauthor boundary), derives
-// the candidate pairs, grounds both matchers, and collects ground truth.
-func Setup(d *bib.Dataset, opts Options) (*Experiment, error) {
+// New builds the total cover (canopies + Coauthor boundary), derives the
+// candidate pairs, grounds the built-in matchers, and collects ground
+// truth. Registered third-party matchers are instantiated lazily, on the
+// first Runner that names them.
+func New(d *match.Dataset, options ...Option) (*Experiment, error) {
+	opts := DefaultOptions()
+	for _, o := range options {
+		o(&opts)
+	}
+	return Setup(d, opts)
+}
+
+// Setup is the struct-options constructor.
+//
+// Deprecated: use New with functional options.
+func Setup(d *match.Dataset, opts Options) (*Experiment, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("cem: invalid dataset: %w", err)
 	}
 	cover := canopy.BuildCover(d, opts.Canopy)
-	cands := canopy.CandidatePairs(d, cover)
+	sp := canopy.CandidatePairs(d, cover)
+	cands := make([]match.Candidate, len(sp))
+	for i, c := range sp {
+		cands[i] = match.Candidate{Pair: c.Pair, Level: c.Level}
+	}
 
-	mlnCands := make([]mln.Candidate, len(cands))
-	rulesCands := make([]rules.Candidate, len(cands))
-	for i, c := range cands {
-		mlnCands[i] = mln.Candidate{Pair: c.Pair, Level: c.Level}
-		rulesCands[i] = rules.Candidate{Pair: c.Pair, Level: c.Level}
-	}
-	mm, err := mln.New(d, mlnCands, opts.MLNWeights)
-	if err != nil {
-		return nil, err
-	}
-	rm, err := rules.New(d, rulesCands, opts.Rules)
-	if err != nil {
-		return nil, err
-	}
-	truth := core.NewPairSet()
+	truth := match.NewPairSet()
 	for p := range d.TruePairs() {
-		truth.Add(core.MakePair(p[0], p[1]))
+		truth.Add(match.MakePair(p[0], p[1]))
 	}
-	return &Experiment{
+	e := &Experiment{
 		Dataset:    d,
 		Cover:      cover,
 		Candidates: cands,
-		MLN:        mm,
-		Rules:      rm,
 		Truth:      truth,
-	}, nil
-}
-
-// matcher returns the selected black box.
-func (e *Experiment) matcher(kind MatcherKind) (core.Matcher, error) {
-	switch kind {
-	case MatcherMLN:
-		return e.MLN, nil
-	case MatcherRules:
-		return e.Rules, nil
-	default:
-		return nil, fmt.Errorf("cem: unknown matcher kind %q", kind)
+		opts:       opts,
+		built:      map[string]match.Matcher{},
 	}
-}
-
-// coreConfig assembles the framework configuration for a matcher.
-func (e *Experiment) coreConfig(kind MatcherKind) (core.Config, error) {
-	m, err := e.matcher(kind)
-	if err != nil {
-		return core.Config{}, err
-	}
-	return core.Config{Cover: e.Cover, Matcher: m, Relation: e.Dataset.Coauthor()}, nil
-}
-
-// Run executes one scheme with one matcher and returns the raw result.
-func (e *Experiment) Run(s Scheme, kind MatcherKind) (*core.Result, error) {
-	cfg, err := e.coreConfig(kind)
+	// Ground the built-ins eagerly through their registered factories —
+	// the same path third-party matchers take — and keep the typed
+	// handles for weight learning and direct probing.
+	mlnM, err := e.matcher(MatcherMLN)
 	if err != nil {
 		return nil, err
 	}
-	switch s {
-	case SchemeNoMP:
-		return core.NoMP(cfg), nil
-	case SchemeSMP:
-		return core.SMP(cfg), nil
-	case SchemeMMP:
-		return core.MMP(cfg)
-	case SchemeFull:
-		return core.Full(cfg), nil
-	case SchemeUB:
-		return core.UB(cfg, e.Truth)
-	default:
-		return nil, fmt.Errorf("cem: unknown scheme %q", s)
-	}
-}
-
-// RunGrid executes one scheme on the simulated grid (§6.3).
-func (e *Experiment) RunGrid(s Scheme, kind MatcherKind, gcfg grid.Config) (*grid.Result, error) {
-	cfg, err := e.coreConfig(kind)
+	rulesM, err := e.matcher(MatcherRules)
 	if err != nil {
 		return nil, err
 	}
-	switch s {
-	case SchemeNoMP:
-		return grid.NoMP(cfg, gcfg)
-	case SchemeSMP:
-		return grid.SMP(cfg, gcfg)
-	case SchemeMMP:
-		return grid.MMP(cfg, gcfg)
-	default:
-		return nil, fmt.Errorf("cem: scheme %q not supported on the grid", s)
+	e.MLN = mlnM.(*mln.Matcher)
+	e.Rules = rulesM.(*rules.Matcher)
+	return e, nil
+}
+
+// matcherContext assembles the factory input for this experiment.
+func (e *Experiment) matcherContext() MatcherContext {
+	return MatcherContext{Dataset: e.Dataset, Candidates: e.Candidates, Options: e.opts}
+}
+
+// matcher returns the named matcher, instantiating and caching it on
+// first use.
+func (e *Experiment) matcher(name string) (match.Matcher, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.built[name]; ok {
+		return m, nil
 	}
+	factory, ok := lookupMatcher(name)
+	if !ok {
+		return nil, fmt.Errorf("cem: unknown matcher %q (registered: %v)", name, Matchers())
+	}
+	m, err := factory(e.matcherContext())
+	if err != nil {
+		return nil, fmt.Errorf("cem: building matcher %q: %w", name, err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("cem: matcher factory %q returned nil", name)
+	}
+	e.built[name] = m
+	return m, nil
 }
 
 // Evaluate scores a result against ground truth (no reference run).
-func (e *Experiment) Evaluate(res *core.Result) eval.Report {
-	return eval.Evaluate(res, e.Truth, nil)
+func (e *Experiment) Evaluate(res *Result) eval.Report {
+	return eval.Evaluate(res.Result, e.Truth, nil)
 }
 
 // EvaluateAgainst scores a result against ground truth and a reference
 // run (for soundness/completeness, §2.2.1).
-func (e *Experiment) EvaluateAgainst(res *core.Result, reference core.PairSet) eval.Report {
-	return eval.Evaluate(res, e.Truth, reference)
+func (e *Experiment) EvaluateAgainst(res *Result, reference match.PairSet) eval.Report {
+	return eval.Evaluate(res.Result, e.Truth, reference)
 }
 
 // EvaluateBCubed computes the B-cubed cluster metric of a result: the
@@ -239,7 +291,7 @@ func (e *Experiment) EvaluateAgainst(res *core.Result, reference core.PairSet) e
 // ground-truth author of each reference. Complements the paper's
 // pairwise precision/recall with the cluster-level view common in entity
 // resolution.
-func (e *Experiment) EvaluateBCubed(res *core.Result) eval.PRF {
+func (e *Experiment) EvaluateBCubed(res *Result) eval.PRF {
 	gold := make([]int32, e.Dataset.NumRefs())
 	for i := range e.Dataset.Refs {
 		gold[i] = e.Dataset.Refs[i].True
@@ -249,23 +301,35 @@ func (e *Experiment) EvaluateBCubed(res *core.Result) eval.PRF {
 
 // TransitiveClosure returns the transitive closure of a match set over
 // the dataset's references — the optional post-processing step Appendix A
-// notes preserves monotonicity when applied at the end.
-func (e *Experiment) TransitiveClosure(matches core.PairSet) core.PairSet {
+// notes preserves monotonicity when applied at the end. Runners apply it
+// automatically under WithTransitiveClosure. Only entities that
+// participate in a match are grouped; singleton components are skipped
+// rather than materialized.
+func (e *Experiment) TransitiveClosure(matches match.PairSet) match.PairSet {
 	n := e.Dataset.NumRefs()
 	dsu := unionfind.New(n)
 	for p := range matches {
 		dsu.Union(int(p.A), int(p.B))
 	}
-	members := map[int][]core.EntityID{}
-	for i := 0; i < n; i++ {
-		r := dsu.Find(i)
-		members[r] = append(members[r], core.EntityID(i))
+	members := map[int][]match.EntityID{}
+	seen := make([]bool, n)
+	add := func(id match.EntityID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		r := dsu.Find(int(id))
+		members[r] = append(members[r], id)
 	}
-	out := core.NewPairSet()
+	for p := range matches {
+		add(p.A)
+		add(p.B)
+	}
+	out := match.NewPairSet()
 	for _, comp := range members {
 		for i := 0; i < len(comp); i++ {
 			for j := i + 1; j < len(comp); j++ {
-				out.Add(core.MakePair(comp[i], comp[j]))
+				out.Add(match.MakePair(comp[i], comp[j]))
 			}
 		}
 	}

@@ -1,16 +1,22 @@
 package cem
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 )
 
-// run is a test helper: execute a scheme and fail on error.
-func run(t *testing.T, exp *Experiment, s Scheme, m MatcherKind) *core.Result {
+// run is a test helper: execute a scheme through the Runner API and
+// fail on error.
+func run(t *testing.T, exp *Experiment, s Scheme, m string) *Result {
 	t.Helper()
-	res, err := exp.Run(s, m)
+	r, err := exp.Runner(m)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", s, m, err)
+	}
+	res, err := r.Run(context.Background(), s)
 	if err != nil {
 		t.Fatalf("%s/%s: %v", s, m, err)
 	}
@@ -20,7 +26,7 @@ func run(t *testing.T, exp *Experiment, s Scheme, m MatcherKind) *core.Result {
 // TestSetupWiring checks the facade assembles a consistent experiment.
 func TestSetupWiring(t *testing.T) {
 	d := NewDataset(DBLP, 0.2, 3)
-	exp, err := Setup(d, DefaultOptions())
+	exp, err := New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +67,11 @@ func TestNewDatasetKinds(t *testing.T) {
 	NewDataset("nope", 1, 1)
 }
 
-// TestRunRejectsBadArgs: unknown schemes/matchers error cleanly.
+// TestRunRejectsBadArgs: unknown schemes/matchers error cleanly,
+// through the deprecated wrapper and the Runner API alike.
 func TestRunRejectsBadArgs(t *testing.T) {
 	d := NewDataset(DBLP, 0.1, 3)
-	exp, err := Setup(d, DefaultOptions())
+	exp, err := New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,6 +87,16 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	if _, err := exp.Run(SchemeUB, MatcherRules); err == nil {
 		t.Error("UB with the RULES matcher must fail (no DecideGiven)")
 	}
+	if _, err := exp.Runner("psychic"); err == nil {
+		t.Error("Runner accepted an unregistered matcher")
+	}
+	r, err := exp.Runner(MatcherMLN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), "warp"); err == nil {
+		t.Error("Runner accepted an unknown scheme")
+	}
 }
 
 // TestPaperShapeMLN asserts the paper's headline orderings on both
@@ -89,7 +106,7 @@ func TestRunRejectsBadArgs(t *testing.T) {
 func TestPaperShapeMLN(t *testing.T) {
 	for _, kind := range []DatasetKind{HEPTH, DBLP} {
 		d := NewDataset(kind, 0.35, 42)
-		exp, err := Setup(d, DefaultOptions())
+		exp, err := New(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +138,7 @@ func TestPaperShapeMLN(t *testing.T) {
 				kind, rM.Recall, rN.Recall)
 		}
 		// Soundness: every scheme ⊆ FULL (Theorems 2 and 4).
-		for name, res := range map[string]*core.Result{"NO-MP": nomp, "SMP": smp, "MMP": mmp} {
+		for name, res := range map[string]*Result{"NO-MP": nomp, "SMP": smp, "MMP": mmp} {
 			if s := eval.Soundness(res.Matches, full.Matches); s < 1 {
 				t.Errorf("%s: %s unsound vs FULL: %.4f", kind, name, s)
 			}
@@ -142,7 +159,7 @@ func TestPaperShapeMLN(t *testing.T) {
 func TestPaperShapeRules(t *testing.T) {
 	for _, kind := range []DatasetKind{HEPTH, DBLP} {
 		d := NewDataset(kind, 0.35, 42)
-		exp, err := Setup(d, DefaultOptions())
+		exp, err := New(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,11 +179,11 @@ func TestPaperShapeRules(t *testing.T) {
 // TestNeighborhoodRegimes: the corpus-level contrast of §6.1 — the
 // DBLP-like corpus produces more, smaller neighborhoods than HEPTH-like.
 func TestNeighborhoodRegimes(t *testing.T) {
-	hep, err := Setup(NewDataset(HEPTH, 0.35, 42), DefaultOptions())
+	hep, err := New(NewDataset(HEPTH, 0.35, 42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	dbl, err := Setup(NewDataset(DBLP, 0.35, 42), DefaultOptions())
+	dbl, err := New(NewDataset(DBLP, 0.35, 42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +202,7 @@ func TestNeighborhoodRegimes(t *testing.T) {
 // TestTransitiveClosureHelper: closure connects chains and is idempotent.
 func TestTransitiveClosureHelper(t *testing.T) {
 	d := NewDataset(DBLP, 0.1, 3)
-	exp, err := Setup(d, DefaultOptions())
+	exp, err := New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +219,7 @@ func TestTransitiveClosureHelper(t *testing.T) {
 // TestGridFacade: the grid runner agrees with the sequential scheme.
 func TestGridFacade(t *testing.T) {
 	d := NewDataset(DBLP, 0.2, 11)
-	exp, err := Setup(d, DefaultOptions())
+	exp, err := New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +242,7 @@ func TestGridFacade(t *testing.T) {
 // richer schemes never lower B³ recall.
 func TestEvaluateBCubed(t *testing.T) {
 	d := NewDataset(DBLP, 0.25, 17)
-	exp, err := Setup(d, DefaultOptions())
+	exp, err := New(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +257,7 @@ func TestEvaluateBCubed(t *testing.T) {
 	}
 	// Singleton prediction bound: recall equals per-entity 1/|cluster|
 	// average; any real matching must beat it.
-	empty := &core.Result{Scheme: "empty", Matches: core.NewPairSet()}
+	empty := &Result{Result: &core.Result{Scheme: "empty", Matches: core.NewPairSet()}}
 	if exp.EvaluateBCubed(empty).Recall >= bM.Recall {
 		t.Error("MMP B³ recall not above the singleton baseline")
 	}
@@ -249,7 +266,7 @@ func TestEvaluateBCubed(t *testing.T) {
 // TestEvaluateAgainst exercises the reference-based report path.
 func TestEvaluateAgainst(t *testing.T) {
 	d := NewDataset(DBLP, 0.2, 11)
-	exp, err := Setup(d, DefaultOptions())
+	exp, err := New(d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,7 @@ func main() {
 		overhead = flag.Duration("overhead", cfg.RoundOverhead, "per-round grid scheduling overhead (table1)")
 		exponent = flag.Float64("cost-exponent", cfg.CostExponent, "modeled inference-cost exponent")
 		steps    = flag.Int("fig3f-steps", cfg.Fig3fSteps, "prefix steps in fig3f")
+		parallel = flag.Int("parallel", cfg.Parallelism, "concurrent neighborhood evaluations (wall times reflect it; modeled costs do not)")
 	)
 	flag.Parse()
 	cfg.Scale = *scale
@@ -58,6 +59,7 @@ func main() {
 	cfg.RoundOverhead = *overhead
 	cfg.CostExponent = *exponent
 	cfg.Fig3fSteps = *steps
+	cfg.Parallelism = *parallel
 
 	ids := order
 	if *exp != "all" {

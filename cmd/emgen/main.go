@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	cem "repro"
 	"repro/internal/bib"
 	"repro/internal/canopy"
-	"repro/internal/datagen"
 )
 
 func main() {
@@ -29,22 +29,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var cfg datagen.Config
-	switch *kind {
-	case "hepth":
-		cfg = datagen.HEPTHLike(*scale, *seed)
-	case "dblp":
-		cfg = datagen.DBLPLike(*scale, *seed)
-	case "dblp-big":
-		cfg = datagen.DBLPBigLike(*scale, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "emgen: unknown kind %q (want hepth, dblp or dblp-big)\n", *kind)
-		os.Exit(2)
-	}
-	d, err := datagen.Generate(cfg)
+	d, err := cem.GenerateDataset(cem.DatasetKind(*kind), *scale, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	if *stats {

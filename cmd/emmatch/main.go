@@ -6,28 +6,34 @@
 //
 //	emmatch -in hepth.tsv -scheme mmp -matcher mln
 //	emmatch -kind dblp -scale 0.5 -scheme smp -matcher rules -closure
+//	emmatch -kind hepth -parallel 8 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	cem "repro"
 	"repro/internal/bib"
+	"repro/match"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "dataset TSV file (from emgen); empty to generate")
-		kind    = flag.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
-		scale   = flag.Float64("scale", 0.5, "generated corpus scale")
-		seed    = flag.Int64("seed", 42, "generation seed")
-		scheme  = flag.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
-		matcher = flag.String("matcher", "mln", "matcher: mln | rules")
-		closure = flag.Bool("closure", false, "apply transitive closure to the output before scoring")
-		bcubed  = flag.Bool("bcubed", false, "also print the B-cubed cluster metric")
-		verbose = flag.Bool("v", false, "print run statistics")
+		in       = flag.String("in", "", "dataset TSV file (from emgen); empty to generate")
+		kind     = flag.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
+		scale    = flag.Float64("scale", 0.5, "generated corpus scale")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		scheme   = flag.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
+		matcher  = flag.String("matcher", "mln", "matcher: "+strings.Join(cem.Matchers(), " | "))
+		closure  = flag.Bool("closure", false, "apply transitive closure to the output before scoring")
+		bcubed   = flag.Bool("bcubed", false, "also print the B-cubed cluster metric")
+		parallel = flag.Int("parallel", 1, "concurrent neighborhood evaluations")
+		progress = flag.Bool("progress", false, "print a line per neighborhood evaluation")
+		verbose  = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
 
@@ -43,19 +49,34 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		d = cem.NewDataset(cem.DatasetKind(*kind), *scale, *seed)
+		var err error
+		d, err = cem.GenerateDataset(cem.DatasetKind(*kind), *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
-	exp, err := cem.Setup(d, cem.DefaultOptions())
+	exp, err := cem.New(d)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := exp.Run(cem.Scheme(*scheme), cem.MatcherKind(*matcher))
-	if err != nil {
-		fatal(err)
-	}
+	opts := []cem.RunnerOption{cem.WithParallelism(*parallel)}
 	if *closure {
-		res.Matches = exp.TransitiveClosure(res.Matches)
+		opts = append(opts, cem.WithTransitiveClosure())
+	}
+	if *progress {
+		opts = append(opts, cem.WithProgress(func(e match.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "%s: round %d, neighborhood %d, %d evaluations, %d matches\n",
+				e.Scheme, e.Round, e.Neighborhood, e.Evaluations, e.Matches)
+		}))
+	}
+	runner, err := exp.Runner(*matcher, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := runner.Run(context.Background(), cem.Scheme(*scheme))
+	if err != nil {
+		fatal(err)
 	}
 	report := exp.Evaluate(res)
 	fmt.Printf("dataset %s: %s\n", d.Name, d.ComputeStats())

@@ -1,25 +1,33 @@
 package cem_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	cem "repro"
 )
 
-// ExampleSetup demonstrates the standard pipeline: generate a corpus,
-// wire an experiment, run maximal message passing, and evaluate.
-func ExampleSetup() {
+// ExampleNew demonstrates the standard pipeline: generate a corpus,
+// wire an experiment, run maximal message passing through a Runner, and
+// evaluate.
+func ExampleNew() {
 	dataset := cem.NewDataset(cem.DBLP, 0.2, 7)
-	exp, err := cem.Setup(dataset, cem.DefaultOptions())
+	exp, err := cem.New(dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := exp.Run(cem.SchemeMMP, cem.MatcherMLN)
+	runner, err := exp.Runner(cem.MatcherMLN)
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := exp.Run(cem.SchemeFull, cem.MatcherMLN)
+	ctx := context.Background()
+	res, err := runner.Run(ctx, cem.SchemeMMP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := runner.Run(ctx, cem.SchemeFull)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,19 +37,43 @@ func ExampleSetup() {
 	// mmp equals full: true
 }
 
-// ExampleExperiment_Run shows the scheme progression of the paper's §2.2:
-// more message passing never loses matches.
-func ExampleExperiment_Run() {
-	exp, err := cem.Setup(cem.NewDataset(cem.DBLP, 0.2, 7), cem.DefaultOptions())
+// ExampleRunner_Run shows the scheme progression of the paper's §2.2:
+// more message passing never loses matches. Parallelism does not change
+// any output (consistency, Theorems 2 and 4).
+func ExampleRunner_Run() {
+	exp, err := cem.New(cem.NewDataset(cem.DBLP, 0.2, 7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	nomp, _ := exp.Run(cem.SchemeNoMP, cem.MatcherMLN)
-	smp, _ := exp.Run(cem.SchemeSMP, cem.MatcherMLN)
-	mmp, _ := exp.Run(cem.SchemeMMP, cem.MatcherMLN)
+	runner, err := exp.Runner(cem.MatcherMLN,
+		cem.WithParallelism(runtime.NumCPU()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	nomp, _ := runner.Run(ctx, cem.SchemeNoMP)
+	smp, _ := runner.Run(ctx, cem.SchemeSMP)
+	mmp, _ := runner.Run(ctx, cem.SchemeMMP)
 	fmt.Println("nomp ⊆ smp:", nomp.Matches.Subset(smp.Matches))
 	fmt.Println("smp ⊆ mmp:", smp.Matches.Subset(mmp.Matches))
 	// Output:
 	// nomp ⊆ smp: true
 	// smp ⊆ mmp: true
+}
+
+// ExampleExperiment_Run exercises the deprecated enum-style wrapper,
+// which remains for one release: it delegates to a Runner with
+// context.Background and no options.
+func ExampleExperiment_Run() {
+	exp, err := cem.New(cem.NewDataset(cem.DBLP, 0.2, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run(cem.SchemeSMP, cem.MatcherMLN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matcher:", res.Matcher)
+	// Output:
+	// matcher: mln
 }

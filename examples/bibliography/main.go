@@ -10,21 +10,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	cem "repro"
-	"repro/internal/bib"
+	"repro/match"
 )
 
 // addPaper appends a paper with its author references; each author is a
 // (name-as-printed, true-author-id) pair — the ids serve as ground truth.
-func addPaper(d *bib.Dataset, title string, year int, authors ...[2]interface{}) {
-	p := bib.Paper{Title: title, Year: year}
+func addPaper(d *match.Dataset, title string, year int, authors ...[2]interface{}) {
+	p := match.Paper{Title: title, Year: year}
 	pid := int32(len(d.Papers))
 	for _, a := range authors {
 		id := int32(len(d.Refs))
-		d.Refs = append(d.Refs, bib.Reference{
+		d.Refs = append(d.Refs, match.Reference{
 			Name:  a[0].(string),
 			Paper: pid,
 			True:  int32(a[1].(int)),
@@ -39,7 +40,7 @@ func main() {
 	// the other abbreviates. Authors: 0 = Vibhor Rastogi, 1 = Nilesh
 	// Dalvi, 2 = Minos Garofalakis, 3 = Pedro Domingos, 4 = Parag Singla,
 	// 5 = Vikram Rastogi (a DIFFERENT author sharing initial+surname!).
-	d := &bib.Dataset{Name: "example-1"}
+	d := &match.Dataset{Name: "example-1"}
 	addPaper(d, "large scale collective entity matching", 2011,
 		[2]interface{}{"Vibhor Rastogi", 0},
 		[2]interface{}{"Nilesh Dalvi", 1},
@@ -62,24 +63,29 @@ func main() {
 	if err := d.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	exp, err := cem.Setup(d, cem.DefaultOptions())
+	exp, err := cem.New(d)
 	if err != nil {
 		log.Fatal(err)
 	}
+	runner, err := exp.Runner(cem.MatcherMLN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// No single pair here is decidable on its own: every abbreviated pair
 	// needs coauthor support, and the supports need each other — the
 	// "chicken and egg" of §5.2. NO-MP and SMP find nothing; MMP's
 	// maximal messages assemble the mutually-supporting clique.
 	for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
-		res, err := exp.Run(s, cem.MatcherMLN)
+		res, err := runner.Run(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-5s found %d matches\n", s, res.Matches.Len())
 	}
 
-	res, err := exp.Run(cem.SchemeMMP, cem.MatcherMLN)
+	res, err := runner.Run(ctx, cem.SchemeMMP)
 	if err != nil {
 		log.Fatal(err)
 	}

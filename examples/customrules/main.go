@@ -3,7 +3,8 @@
 // SMP, against the paper's default program. Demonstrates that ANY
 // well-behaved Type-I matcher scales with simple message passing — the
 // "Generic" property of §1 — and that SMP reproduces the FULL run
-// exactly for this matcher family.
+// exactly for this matcher family. Uses only the public cem and match
+// packages: rule programs are injected with cem.WithRules.
 //
 // Run with:
 //
@@ -11,60 +12,59 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	cem "repro"
-	"repro/internal/core"
-	"repro/internal/rules"
-	"repro/internal/similarity"
+	"repro/match"
 )
 
 func main() {
 	dataset := cem.NewDataset(cem.HEPTH, 0.4, 13)
 	fmt.Printf("dataset: %s\n\n", dataset.ComputeStats())
 
-	exp, err := cem.Setup(dataset, cem.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// Rule programs to compare. Each rule reads: a pair at exactly this
 	// similarity level matches once at least MinCoauthorMatches coauthor
 	// pairs are matched.
 	programs := []struct {
 		name  string
-		rules []rules.Rule
+		rules []match.Rule
 	}{
-		{"paper (3/2+1co/1+2co)", rules.PaperRules()},
-		{"strict (3+1co/2+2co)", []rules.Rule{
-			{Level: similarity.LevelStrong, MinCoauthorMatches: 1},
-			{Level: similarity.LevelMedium, MinCoauthorMatches: 2},
+		{"paper (3/2+1co/1+2co)", nil}, // nil = the paper's Appendix B program
+		{"strict (3+1co/2+2co)", []match.Rule{
+			{Level: match.LevelStrong, MinCoauthorMatches: 1},
+			{Level: match.LevelMedium, MinCoauthorMatches: 2},
 		}},
-		{"lenient (3/2/1+1co)", []rules.Rule{
-			{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
-			{Level: similarity.LevelMedium, MinCoauthorMatches: 0},
-			{Level: similarity.LevelWeak, MinCoauthorMatches: 1},
+		{"lenient (3/2/1+1co)", []match.Rule{
+			{Level: match.LevelStrong, MinCoauthorMatches: 0},
+			{Level: match.LevelMedium, MinCoauthorMatches: 0},
+			{Level: match.LevelWeak, MinCoauthorMatches: 1},
 		}},
 	}
 
-	cands := make([]rules.Candidate, len(exp.Candidates))
-	for i, c := range exp.Candidates {
-		cands[i] = rules.Candidate{Pair: c.Pair, Level: c.Level}
-	}
-
+	ctx := context.Background()
 	for _, prog := range programs {
-		matcher, err := rules.New(exp.Dataset, cands, prog.rules)
+		var opts []cem.Option
+		if prog.rules != nil {
+			opts = append(opts, cem.WithRules(prog.rules))
+		}
+		exp, err := cem.New(dataset, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := core.Config{
-			Cover:    exp.Cover,
-			Matcher:  matcher,
-			Relation: exp.Dataset.Coauthor(),
+		runner, err := exp.Runner(cem.MatcherRules)
+		if err != nil {
+			log.Fatal(err)
 		}
-		smp := core.SMP(cfg)
-		full := core.Full(cfg)
+		smp, err := runner.Run(ctx, cem.SchemeSMP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := runner.Run(ctx, cem.SchemeFull)
+		if err != nil {
+			log.Fatal(err)
+		}
 		rep := exp.EvaluateAgainst(smp, full.Matches)
 		fmt.Printf("%-22s SMP: P=%.3f R=%.3f F1=%.3f | equals FULL: %v\n",
 			prog.name, rep.PRF.Precision, rep.PRF.Recall, rep.PRF.F1,

@@ -2,6 +2,8 @@
 // rounds-based MapReduce-style executor over simulated machines — and
 // reproduce the Table 1 observation that speedup stays well below the
 // machine count because of assignment skew and per-round overhead.
+// Contrast with cem.WithParallelism, which parallelizes for real on
+// shared memory; the grid additionally models the distributed clock.
 //
 // Run with:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,11 +26,17 @@ func main() {
 	dataset := cem.NewDataset(cem.DBLPBig, 0.15, 9)
 	fmt.Printf("dataset: %s\n", dataset.ComputeStats())
 
-	exp, err := cem.Setup(dataset, cem.DefaultOptions())
+	exp, err := cem.New(dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cover:   %s\n\n", exp.Cover.ComputeStats())
+
+	runner, err := exp.Runner(cem.MatcherMLN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// Simulated service times follow the Alchemy-like quadratic cost
 	// model (see EXPERIMENTS.md): 1ms per active decision squared. Our
@@ -43,7 +52,7 @@ func main() {
 			Seed:          1,
 			ServiceModel:  model,
 		}
-		res, err := exp.RunGrid(cem.SchemeSMP, cem.MatcherMLN, gcfg)
+		res, err := runner.RunGrid(ctx, cem.SchemeSMP, gcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,11 +67,11 @@ func main() {
 	fmt.Println("every round pays a scheduling overhead — the Table 1 mechanism.")
 
 	// The parallel run is consistent with the sequential one.
-	seq, err := exp.Run(cem.SchemeSMP, cem.MatcherMLN)
+	seq, err := runner.Run(ctx, cem.SchemeSMP)
 	if err != nil {
 		log.Fatal(err)
 	}
-	par, err := exp.RunGrid(cem.SchemeSMP, cem.MatcherMLN,
+	par, err := runner.RunGrid(ctx, cem.SchemeSMP,
 		grid.Config{Machines: 30, Seed: 2})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,21 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var bg = context.Background()
+
+// mustRun executes a context-aware scheme and fails the test on error —
+// keeps the theorem-checking tests focused on outputs.
+func mustRun(t *testing.T, fn func(context.Context, core.Config) (*core.Result, error), cfg core.Config) *core.Result {
+	t.Helper()
+	res, err := fn(bg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -14,11 +15,17 @@ import (
 // decrease (Step 7: PE(M+ ∪ M) ≥ PE(M+)).
 //
 // For a supermodular Type-II matcher, MMP converges and is sound and
-// consistent (Theorem 4) in time O(k⁴·f(k)·n) (Theorem 5).
-func MMP(cfg Config) (*Result, error) {
+// consistent (Theorem 4) in time O(k⁴·f(k)·n) (Theorem 5). With
+// cfg.Parallelism > 1 the active set is processed in parallel rounds
+// (see Config.Parallelism); consistency makes the output identical.
+// Cancellation of ctx aborts between neighborhood evaluations.
+func MMP(ctx context.Context, cfg Config) (*Result, error) {
 	prob, ok := cfg.Matcher.(Probabilistic)
 	if !ok {
 		return nil, fmt.Errorf("core: MMP requires a Probabilistic (Type-II) matcher, got %T", cfg.Matcher)
+	}
+	if cfg.workers() > 1 {
+		return runRounds(ctx, cfg, "MMP", true)
 	}
 
 	start := time.Now()
@@ -31,6 +38,9 @@ func MMP(cfg Config) (*Result, error) {
 	store := NewMessageStore()
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		id, ok := active.pop()
 		if !ok {
 			break
@@ -77,6 +87,7 @@ func MMP(cfg Config) (*Result, error) {
 			}
 			res.Stats.MessagesSent += len(affected)
 		}
+		cfg.emit("MMP", id, 0, res)
 	}
 
 	for _, v := range visits {
@@ -92,17 +103,11 @@ func MMP(cfg Config) (*Result, error) {
 // PE(M+ ∪ M) ≥ PE(M+), adds it to mPlus, and rescans (a promotion can
 // unlock further promotions). The newly promoted pairs are returned.
 // Soundness: by supermodularity, PE(M+∪M) ≥ PE(M+) with sound M+ implies
-// M ⊆ E(E) (proof of Theorem 4).
+// M ⊆ E(E) (proof of Theorem 4). Alternative schedulers (the round
+// executors in parallel.go and internal/grid) reach this step through
+// RoundReducer.Promote.
 func promoteMessages(prob Probabilistic, store *MessageStore, mPlus PairSet, stats *RunStats) []Pair {
 	return promoteMessagesImpl(prob, store, mPlus, stats)
-}
-
-// PromoteMessages is Step 7 of Algorithm 3 exposed for alternative
-// schedulers (the grid executor's Reduce phase). The newly promoted pairs
-// are returned.
-func PromoteMessages(prob Probabilistic, store *MessageStore, mPlus PairSet) []Pair {
-	var stats RunStats
-	return promoteMessagesImpl(prob, store, mPlus, &stats)
 }
 
 func promoteMessagesImpl(prob Probabilistic, store *MessageStore, mPlus PairSet, stats *RunStats) []Pair {

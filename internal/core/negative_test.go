@@ -16,7 +16,7 @@ func TestNegativeEvidenceSuppresses(t *testing.T) {
 	base := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
 
 	// Baseline: (c1,c2) is matched and unlocks (b1,b2) via SMP.
-	smp := core.SMP(base)
+	smp := mustRun(t, core.SMP, base)
 	c12 := core.MakePair(ids["c1"], ids["c2"])
 	b12 := core.MakePair(ids["b1"], ids["b2"])
 	if !smp.Matches.Has(c12) || !smp.Matches.Has(b12) {
@@ -27,7 +27,7 @@ func TestNegativeEvidenceSuppresses(t *testing.T) {
 	// in every scheme.
 	neg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation(),
 		Negative: core.NewPairSet(c12)}
-	for _, res := range []*core.Result{core.NoMP(neg), core.SMP(neg), core.Full(neg)} {
+	for _, res := range []*core.Result{mustRun(t, core.NoMP, neg), mustRun(t, core.SMP, neg), mustRun(t, core.Full, neg)} {
 		if res.Matches.Has(c12) {
 			t.Errorf("%s: negated pair matched", res.Scheme)
 		}
@@ -35,7 +35,7 @@ func TestNegativeEvidenceSuppresses(t *testing.T) {
 			t.Errorf("%s: dependent of negated pair matched", res.Scheme)
 		}
 	}
-	mmp, err := core.MMP(neg)
+	mmp, err := core.MMP(bg, neg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestNegativeEvidenceMonotone(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		m, cover := randomModel(rng)
 		base := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-		full := core.Full(base)
+		full := mustRun(t, core.Full, base)
 		if full.Matches.Len() == 0 {
 			continue
 		}
@@ -71,9 +71,9 @@ func TestNegativeEvidenceMonotone(t *testing.T) {
 			without  core.PairSet
 			withNegM core.PairSet
 		}{
-			{"SMP", core.SMP(base).Matches, core.SMP(withNeg).Matches},
-			{"NO-MP", core.NoMP(base).Matches, core.NoMP(withNeg).Matches},
-			{"FULL", full.Matches, core.Full(withNeg).Matches},
+			{"SMP", mustRun(t, core.SMP, base).Matches, mustRun(t, core.SMP, withNeg).Matches},
+			{"NO-MP", mustRun(t, core.NoMP, base).Matches, mustRun(t, core.NoMP, withNeg).Matches},
+			{"FULL", full.Matches, mustRun(t, core.Full, withNeg).Matches},
 		} {
 			if !pair.withNegM.Subset(pair.without) {
 				t.Fatalf("trial %d: %s grew under negative evidence", trial, pair.name)
@@ -84,7 +84,7 @@ func TestNegativeEvidenceMonotone(t *testing.T) {
 				}
 			}
 		}
-		mmp, err := core.MMP(withNeg)
+		mmp, err := core.MMP(bg, withNeg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,8 +146,8 @@ func TestNonMonotoneBreaksIdempotence(t *testing.T) {
 	// output visibly differs from the matcher's own full run.
 	cover := core.NewCover(4, [][]core.EntityID{{0, 1}, {2, 3}, {0, 1, 2, 3}})
 	cfg := core.Config{Cover: cover, Matcher: m}
-	smp := core.SMP(cfg)
-	full := core.Full(cfg)
+	smp := mustRun(t, core.SMP, cfg)
+	full := mustRun(t, core.Full, cfg)
 	if smp.Matches.Equal(full.Matches) {
 		t.Skip("order happened to agree; the guarantee is still void")
 	}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// evalJob is the outcome of one parallel neighborhood evaluation: the
+// Map side of the shared-memory round executor.
+type evalJob struct {
+	id      int32
+	matches PairSet
+	msgs    [][]Pair // maximal messages (MMP rounds only)
+	active  int      // active decisions at evaluation time
+	dur     time.Duration
+	calls   int // matcher calls (1 + conditioned probes for MMP)
+}
+
+// allNeighborhoods returns the ids 0..n-1.
+func allNeighborhoods(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// mapNeighborhoods evaluates the given neighborhoods against a fixed
+// evidence snapshot, in parallel when cfg.Parallelism > 1, and returns
+// the per-neighborhood jobs in input order. The evidence set is only
+// read. withMessages additionally runs COMPUTEMAXIMAL per neighborhood
+// (prob must then be non-nil). A canceled ctx aborts the round; started
+// evaluations finish, queued ones are skipped.
+func mapNeighborhoods(ctx context.Context, cfg Config, ids []int32, evidence PairSet, withMessages bool, prob Probabilistic) ([]evalJob, error) {
+	jobs := make([]evalJob, len(ids))
+	eval := func(i int) {
+		id := ids[i]
+		entities := cfg.Cover.Sets[id]
+		active := activeDecisions(cfg.Matcher, entities, evidence)
+		t0 := time.Now()
+		mc := cfg.Matcher.Match(entities, evidence, cfg.Negative)
+		calls := 1
+		var msgs [][]Pair
+		if withMessages {
+			var probes int
+			msgs, probes = ComputeMaximal(prob, entities, evidence, cfg.Negative, mc)
+			calls += probes
+		}
+		jobs[i] = evalJob{
+			id:      id,
+			matches: mc,
+			msgs:    msgs,
+			active:  active,
+			dur:     time.Since(t0),
+			calls:   calls,
+		}
+	}
+
+	workers := cfg.workers()
+	if workers <= 1 {
+		for i := range ids {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			eval(i)
+		}
+		return jobs, nil
+	}
+
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain the queue without working
+				}
+				eval(i)
+			}
+		}()
+	}
+	for i := range ids {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// RoundReducer implements the Reduce semantics shared by the parallel
+// executors (the shared-memory rounds here and the simulated grid in
+// internal/grid): merge a round's per-neighborhood matches into the
+// global set, collect maximal messages (dropping singletons, which the
+// evidence-driven re-evaluation subsumes), and promote sound messages
+// per Algorithm 3 Step 7. New accumulates the round's newly decided
+// pairs — the input to Cover.Affected.
+type RoundReducer struct {
+	matches PairSet
+	store   *MessageStore
+	prob    Probabilistic
+	stats   *RunStats
+	New     []Pair
+}
+
+// NewRoundReducer builds a reducer over the global match set. store and
+// prob are nil for schemes without maximal messages; stats may be nil
+// when the caller keeps no counters. Build one per round.
+func NewRoundReducer(matches PairSet, store *MessageStore, prob Probabilistic, stats *RunStats) *RoundReducer {
+	if stats == nil {
+		stats = &RunStats{}
+	}
+	return &RoundReducer{matches: matches, store: store, prob: prob, stats: stats}
+}
+
+// Add merges one job's matches and maximal messages.
+func (r *RoundReducer) Add(mc PairSet, msgs [][]Pair) {
+	for p := range mc {
+		if !r.matches.Has(p) {
+			r.matches.Add(p)
+			r.New = append(r.New, p)
+		}
+	}
+	if r.store != nil {
+		r.stats.MaximalMessages += len(msgs)
+		for _, msg := range msgs {
+			if len(msg) >= 2 { // singletons are subsumed by re-evaluation
+				r.store.Add(msg)
+			}
+		}
+	}
+}
+
+// Promote runs the Step 7 promotion fixpoint over the accumulated
+// store, appending the promoted pairs to New.
+func (r *RoundReducer) Promote() {
+	if r.store != nil && r.prob != nil {
+		r.New = append(r.New, promoteMessagesImpl(r.prob, r.store, r.matches, r.stats)...)
+	}
+}
+
+// runRounds executes SMP or MMP (withMessages) as parallel rounds over
+// shared memory — the grid executor's Map/Reduce structure without the
+// simulated clock. Every round maps the active neighborhoods against a
+// snapshot of M+, then a central Reduce merges new matches (and, for
+// MMP, maximal messages, promoting sound ones per Algorithm 3 Step 7)
+// and derives the next active set from the affected neighborhoods.
+// Consistency (Theorems 2 and 4) makes the output equal to the serial
+// schedulers' for well-behaved matchers.
+func runRounds(ctx context.Context, cfg Config, scheme string, withMessages bool) (*Result, error) {
+	var prob Probabilistic
+	if withMessages {
+		prob = cfg.Matcher.(Probabilistic) // checked by MMP before dispatch
+	}
+	start := time.Now()
+	res := &Result{Scheme: scheme, Matches: NewPairSet()}
+	res.Stats.Neighborhoods = cfg.Cover.Len()
+
+	visits := make([]int, cfg.Cover.Len())
+	var store *MessageStore
+	if withMessages {
+		store = NewMessageStore()
+	}
+
+	active := allNeighborhoods(cfg.Cover.Len())
+	for round := 1; len(active) > 0; round++ {
+		jobs, err := mapNeighborhoods(ctx, cfg, active, res.Matches, withMessages, prob)
+		if err != nil {
+			return nil, err
+		}
+
+		// Reduce: merge evidence, promote messages, emit progress.
+		red := NewRoundReducer(res.Matches, store, prob, &res.Stats)
+		for _, j := range jobs {
+			visits[j.id]++
+			res.Stats.Evaluations++
+			res.Stats.MatcherCalls += j.calls
+			res.Stats.MatcherTime += j.dur
+			res.Stats.ActiveSizes = append(res.Stats.ActiveSizes, j.active)
+			red.Add(j.matches, j.msgs)
+			cfg.emit(scheme, j.id, round, res)
+		}
+		red.Promote()
+		if len(red.New) == 0 {
+			break
+		}
+		affected := cfg.Cover.Affected(red.New, cfg.Relation)
+		res.Stats.MessagesSent += len(affected)
+		active = affected
+	}
+
+	for _, v := range visits {
+		if v > res.Stats.MaxRevisits {
+			res.Stats.MaxRevisits = v
+		}
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testmodel"
+)
+
+// TestParallelMatchesSerial: with Parallelism > 1 every scheme's output
+// equals the serial scheduler's on random supermodular instances —
+// consistency (Theorems 2 and 4) carried over to the shared-memory
+// round executor.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 60; trial++ {
+		m, cover := randomModel(rng)
+		serial := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
+		par := serial
+		par.Parallelism = 4
+
+		if got, want := mustRun(t, core.NoMP, par), mustRun(t, core.NoMP, serial); !got.Matches.Equal(want.Matches) {
+			t.Fatalf("trial %d: parallel NO-MP diverges: %v vs %v",
+				trial, got.Matches.Sorted(), want.Matches.Sorted())
+		}
+		if got, want := mustRun(t, core.SMP, par), mustRun(t, core.SMP, serial); !got.Matches.Equal(want.Matches) {
+			t.Fatalf("trial %d: parallel SMP diverges: %v vs %v",
+				trial, got.Matches.Sorted(), want.Matches.Sorted())
+		}
+		got, err := core.MMP(bg, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.MMP(bg, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Matches.Equal(want.Matches) {
+			t.Fatalf("trial %d: parallel MMP diverges: %v vs %v",
+				trial, got.Matches.Sorted(), want.Matches.Sorted())
+		}
+	}
+}
+
+// TestParallelStatsAccounting: the round executor still counts every
+// neighborhood at least once and records one active size per evaluation.
+func TestParallelStatsAccounting(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation(), Parallelism: 3}
+	res := mustRun(t, core.SMP, cfg)
+	if res.Stats.Evaluations < cover.Len() {
+		t.Errorf("evaluations = %d, want >= %d", res.Stats.Evaluations, cover.Len())
+	}
+	if len(res.Stats.ActiveSizes) != res.Stats.Evaluations {
+		t.Errorf("active sizes %d != evaluations %d",
+			len(res.Stats.ActiveSizes), res.Stats.Evaluations)
+	}
+	if res.Stats.MaxRevisits < 1 {
+		t.Errorf("max revisits = %d", res.Stats.MaxRevisits)
+	}
+}
+
+// TestCanceledContext: an already-canceled context aborts every scheme
+// before any matcher call, serial and parallel alike.
+func TestCanceledContext(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallelism := range []int{0, 4} {
+		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation(),
+			Parallelism: parallelism}
+		if _, err := core.NoMP(ctx, cfg); err != context.Canceled {
+			t.Errorf("parallelism %d: NoMP err = %v", parallelism, err)
+		}
+		if _, err := core.SMP(ctx, cfg); err != context.Canceled {
+			t.Errorf("parallelism %d: SMP err = %v", parallelism, err)
+		}
+		if _, err := core.MMP(ctx, cfg); err != context.Canceled {
+			t.Errorf("parallelism %d: MMP err = %v", parallelism, err)
+		}
+	}
+	if _, err := core.Full(ctx, core.Config{Cover: cover, Matcher: m}); err != context.Canceled {
+		t.Errorf("Full err = %v", err)
+	}
+	if _, err := core.UB(ctx, core.Config{Cover: cover, Matcher: m}, core.NewPairSet()); err != context.Canceled {
+		t.Errorf("UB err = %v", err)
+	}
+}
+
+// TestProgressCallback: progress events fire once per evaluation with
+// monotonically non-decreasing counters.
+func TestProgressCallback(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	for _, parallelism := range []int{0, 3} {
+		var events []core.ProgressEvent
+		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation(),
+			Parallelism: parallelism,
+			Progress:    func(e core.ProgressEvent) { events = append(events, e) }}
+		res := mustRun(t, core.SMP, cfg)
+		if len(events) != res.Stats.Evaluations {
+			t.Fatalf("parallelism %d: %d events for %d evaluations",
+				parallelism, len(events), res.Stats.Evaluations)
+		}
+		for i, e := range events {
+			if e.Scheme != "SMP" {
+				t.Fatalf("event scheme %q", e.Scheme)
+			}
+			if e.Evaluations != i+1 {
+				t.Fatalf("event %d: evaluations = %d", i, e.Evaluations)
+			}
+			if i > 0 && e.Matches < events[i-1].Matches {
+				t.Fatalf("event %d: match count decreased", i)
+			}
+		}
+	}
+}

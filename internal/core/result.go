@@ -51,6 +51,17 @@ func (s RunStats) String() string {
 		s.MessagesSent, s.MaximalMessages, s.PromotedSets, s.Elapsed)
 }
 
+// ProgressEvent reports one neighborhood evaluation to a Config.Progress
+// callback. Events are delivered sequentially, in evaluation order for
+// serial runs and in reduce order (per round) for parallel runs.
+type ProgressEvent struct {
+	Scheme       string
+	Neighborhood int32 // id of the evaluated neighborhood; -1 for whole-set runs
+	Round        int   // parallel round number; 0 for serial schedulers
+	Evaluations  int   // neighborhood evaluations completed so far
+	Matches      int   // matches accumulated so far
+}
+
 // Order selects the scheduling discipline of the active set A in
 // Algorithms 1 and 3. The choice is immaterial for correctness —
 // Theorems 2 and 4 guarantee the output is order-invariant for

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/graph"
@@ -20,36 +21,87 @@ type Config struct {
 	// (Definition 3(iii)). May be nil.
 	Negative PairSet
 
-	// Order is the scheduling discipline of the active set (default
-	// FIFO). Output is order-invariant for well-behaved matchers.
+	// Order is the scheduling discipline of the serial active set
+	// (default FIFO). Output is order-invariant for well-behaved
+	// matchers. Ignored when Parallelism > 1 (rounds are set-at-a-time).
 	Order Order
+
+	// Parallelism bounds concurrent neighborhood evaluations. 0 or 1
+	// runs serially. For n > 1, NoMP evaluates independent neighborhoods
+	// on a worker pool, and SMP/MMP adopt the grid's round-based
+	// map/reduce structure on shared memory: every round maps the active
+	// set in parallel against a snapshot of the evidence, then reduces
+	// the new evidence centrally. Output is unchanged for well-behaved
+	// matchers (consistency, Theorems 2 and 4). The Matcher must be safe
+	// for concurrent Match/Candidates calls when Parallelism > 1.
+	Parallelism int
+
+	// Progress, when non-nil, is invoked sequentially after every
+	// neighborhood evaluation (from the reducing goroutine in parallel
+	// runs). Callbacks must be fast; they sit on the scheduling path.
+	Progress func(ProgressEvent)
+}
+
+// workers normalizes Parallelism to an effective worker count.
+func (cfg *Config) workers() int {
+	if cfg.Parallelism < 1 {
+		return 1
+	}
+	return cfg.Parallelism
+}
+
+// emit delivers a progress event if a callback is installed.
+func (cfg *Config) emit(scheme string, id int32, round int, res *Result) {
+	if cfg.Progress == nil {
+		return
+	}
+	cfg.Progress(ProgressEvent{
+		Scheme:       scheme,
+		Neighborhood: id,
+		Round:        round,
+		Evaluations:  res.Stats.Evaluations,
+		Matches:      res.Matches.Len(),
+	})
 }
 
 // NoMP runs the matcher once on every neighborhood independently and
 // unions the results — the NO-MP baseline of §6. No evidence flows
-// between neighborhoods.
-func NoMP(cfg Config) *Result {
+// between neighborhoods, so the neighborhoods are evaluated on a worker
+// pool when cfg.Parallelism > 1; the result is identical to the serial
+// run. Cancellation of ctx aborts between neighborhood evaluations.
+func NoMP(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
 	res := &Result{Scheme: "NO-MP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
-	for _, entities := range cfg.Cover.Sets {
-		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes,
-			activeDecisions(cfg.Matcher, entities, nil))
-		t0 := time.Now()
-		mc := cfg.Matcher.Match(entities, nil, cfg.Negative)
-		res.Stats.MatcherTime += time.Since(t0)
+
+	jobs, err := mapNeighborhoods(ctx, cfg, allNeighborhoods(cfg.Cover.Len()), nil, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	round := 0 // serial runs report round 0, parallel rounds count from 1
+	if cfg.workers() > 1 {
+		round = 1
+	}
+	for _, j := range jobs {
+		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes, j.active)
+		res.Stats.MatcherTime += j.dur
 		res.Stats.MatcherCalls++
 		res.Stats.Evaluations++
-		res.Matches.AddAll(mc)
+		res.Matches.AddAll(j.matches)
+		cfg.emit("NO-MP", j.id, round, res)
 	}
 	res.Stats.MaxRevisits = 1
 	res.Stats.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // Full runs the matcher once on the entire entity set — the FULL
-// reference of Appendix C (feasible only for cheap matchers).
-func Full(cfg Config) *Result {
+// reference of Appendix C (feasible only for cheap matchers). The single
+// matcher call is not interruptible; ctx is checked on entry.
+func Full(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	all := make([]EntityID, cfg.Cover.NumEntities)
 	for i := range all {
@@ -65,7 +117,8 @@ func Full(cfg Config) *Result {
 	res.Stats.Evaluations = 1
 	res.Stats.MaxRevisits = 1
 	res.Stats.Elapsed = time.Since(start)
-	return res
+	cfg.emit("FULL", -1, 0, res)
+	return res, nil
 }
 
 // SMP is the simple message-passing scheme (Algorithm 1). The matches
@@ -75,8 +128,13 @@ func Full(cfg Config) *Result {
 //
 // For a well-behaved matcher, SMP converges, is sound (output ⊆ E(E))
 // and consistent (output independent of evaluation order) — Theorem 2 —
-// in time O(k²·f(k)·n) — Theorem 3.
-func SMP(cfg Config) *Result {
+// in time O(k²·f(k)·n) — Theorem 3. With cfg.Parallelism > 1 the active
+// set is processed in parallel rounds (see Config.Parallelism);
+// consistency makes the output identical.
+func SMP(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.workers() > 1 {
+		return runRounds(ctx, cfg, "SMP", false)
+	}
 	start := time.Now()
 	res := &Result{Scheme: "SMP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
@@ -86,6 +144,9 @@ func SMP(cfg Config) *Result {
 	mPlus := res.Matches
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		id, ok := active.pop()
 		if !ok {
 			break
@@ -103,6 +164,7 @@ func SMP(cfg Config) *Result {
 
 		newMatches := collectNew(mc, mPlus)
 		if len(newMatches) == 0 {
+			cfg.emit("SMP", id, 0, res)
 			continue
 		}
 		for _, p := range newMatches {
@@ -113,6 +175,7 @@ func SMP(cfg Config) *Result {
 			active.push(a)
 		}
 		res.Stats.MessagesSent += len(affected)
+		cfg.emit("SMP", id, 0, res)
 	}
 
 	for _, v := range visits {
@@ -121,7 +184,7 @@ func SMP(cfg Config) *Result {
 		}
 	}
 	res.Stats.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // activeDecisions counts the in-scope candidate pairs not yet decided by

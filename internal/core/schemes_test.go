@@ -21,7 +21,7 @@ func pairNames(ids map[string]core.EntityID, names ...[2]string) core.PairSet {
 // match set contains all five pairs.
 func TestPaperExampleFull(t *testing.T) {
 	m, cover, ids := testmodel.PaperExample()
-	full := core.Full(core.Config{Cover: cover, Matcher: m, Relation: m.Relation()})
+	full := mustRun(t, core.Full, core.Config{Cover: cover, Matcher: m, Relation: m.Relation()})
 	want := pairNames(ids,
 		[2]string{"a1", "a2"}, [2]string{"b1", "b2"}, [2]string{"b2", "b3"},
 		[2]string{"c1", "c2"}, [2]string{"c2", "c3"})
@@ -33,7 +33,7 @@ func TestPaperExampleFull(t *testing.T) {
 // TestPaperExampleNoMP: independent neighborhood runs find only (c1,c2).
 func TestPaperExampleNoMP(t *testing.T) {
 	m, cover, ids := testmodel.PaperExample()
-	res := core.NoMP(core.Config{Cover: cover, Matcher: m, Relation: m.Relation()})
+	res := mustRun(t, core.NoMP, core.Config{Cover: cover, Matcher: m, Relation: m.Relation()})
 	want := pairNames(ids, [2]string{"c1", "c2"})
 	if !res.Matches.Equal(want) {
 		t.Fatalf("NO-MP = %v, want %v", res.Matches.Sorted(), want.Sorted())
@@ -48,7 +48,7 @@ func TestPaperExampleNoMP(t *testing.T) {
 // recover matches (a1,a2), (b2,b3) and (c2,c3)").
 func TestPaperExampleSMP(t *testing.T) {
 	m, cover, ids := testmodel.PaperExample()
-	res := core.SMP(core.Config{Cover: cover, Matcher: m, Relation: m.Relation()})
+	res := mustRun(t, core.SMP, core.Config{Cover: cover, Matcher: m, Relation: m.Relation()})
 	want := pairNames(ids, [2]string{"c1", "c2"}, [2]string{"b1", "b2"})
 	if !res.Matches.Equal(want) {
 		t.Fatalf("SMP = %v, want %v", res.Matches.Sorted(), want.Sorted())
@@ -60,11 +60,11 @@ func TestPaperExampleSMP(t *testing.T) {
 func TestPaperExampleMMP(t *testing.T) {
 	m, cover, _ := testmodel.PaperExample()
 	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-	res, err := core.MMP(cfg)
+	res, err := core.MMP(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full := core.Full(cfg)
+	full := mustRun(t, core.Full, cfg)
 	if !res.Matches.Equal(full.Matches) {
 		t.Fatalf("MMP = %v, want FULL = %v", res.Matches.Sorted(), full.Matches.Sorted())
 	}
@@ -80,7 +80,7 @@ func TestPaperExampleUB(t *testing.T) {
 	truth := pairNames(ids,
 		[2]string{"a1", "a2"}, [2]string{"b1", "b2"}, [2]string{"b2", "b3"},
 		[2]string{"c1", "c2"}, [2]string{"c2", "c3"})
-	res, err := core.UB(cfg, truth)
+	res, err := core.UB(bg, cfg, truth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,14 +142,14 @@ func TestSMPSoundnessRandom(t *testing.T) {
 	for trial := 0; trial < 120; trial++ {
 		m, cover := randomModel(rng)
 		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-		smp := core.SMP(cfg)
-		full := core.Full(cfg)
+		smp := mustRun(t, core.SMP, cfg)
+		full := mustRun(t, core.Full, cfg)
 		if !smp.Matches.Subset(full.Matches) {
 			t.Fatalf("trial %d: SMP unsound: %v ⊄ %v",
 				trial, smp.Matches.Sorted(), full.Matches.Sorted())
 		}
 		// NO-MP is sound too, and SMP finds at least as much.
-		nomp := core.NoMP(cfg)
+		nomp := mustRun(t, core.NoMP, cfg)
 		if !nomp.Matches.Subset(full.Matches) {
 			t.Fatalf("trial %d: NO-MP unsound", trial)
 		}
@@ -166,16 +166,16 @@ func TestMMPSoundnessRandom(t *testing.T) {
 	for trial := 0; trial < 120; trial++ {
 		m, cover := randomModel(rng)
 		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-		mmp, err := core.MMP(cfg)
+		mmp, err := core.MMP(bg, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full := core.Full(cfg)
+		full := mustRun(t, core.Full, cfg)
 		if !mmp.Matches.Subset(full.Matches) {
 			t.Fatalf("trial %d: MMP unsound: extra %v",
 				trial, mmp.Matches.Minus(full.Matches).Sorted())
 		}
-		smp := core.SMP(cfg)
+		smp := mustRun(t, core.SMP, cfg)
 		if !smp.Matches.Subset(mmp.Matches) {
 			t.Fatalf("trial %d: MMP lost SMP matches %v",
 				trial, smp.Matches.Minus(mmp.Matches).Sorted())
@@ -192,18 +192,18 @@ func TestOrderInvariance(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		m, cover := randomModel(rng)
 		base := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-		ref := core.SMP(base)
-		refM, err := core.MMP(base)
+		ref := mustRun(t, core.SMP, base)
+		refM, err := core.MMP(bg, base)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, o := range orders[1:] {
 			cfg := base
 			cfg.Order = o
-			if got := core.SMP(cfg); !got.Matches.Equal(ref.Matches) {
+			if got := mustRun(t, core.SMP, cfg); !got.Matches.Equal(ref.Matches) {
 				t.Fatalf("trial %d: SMP output differs under order %d", trial, o)
 			}
-			gotM, err := core.MMP(cfg)
+			gotM, err := core.MMP(bg, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -223,8 +223,8 @@ func TestConsistencyRandom(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		m, cover := randomModel(rng)
 		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-		smpRef := core.SMP(cfg)
-		mmpRef, err := core.MMP(cfg)
+		smpRef := mustRun(t, core.SMP, cfg)
+		mmpRef, err := core.MMP(bg, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,12 +239,12 @@ func TestConsistencyRandom(t *testing.T) {
 				Matcher:  m,
 				Relation: m.Relation(),
 			}
-			smp2 := core.SMP(cfg2)
+			smp2 := mustRun(t, core.SMP, cfg2)
 			if !smp2.Matches.Equal(smpRef.Matches) {
 				t.Fatalf("trial %d perm %d: SMP inconsistent: %v vs %v",
 					trial, perm, smp2.Matches.Sorted(), smpRef.Matches.Sorted())
 			}
-			mmp2, err := core.MMP(cfg2)
+			mmp2, err := core.MMP(bg, cfg2)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -264,8 +264,8 @@ func TestUBContainsFullRandom(t *testing.T) {
 	for trial := 0; trial < 120; trial++ {
 		m, cover := randomModel(rng)
 		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-		full := core.Full(cfg)
-		ub, err := core.UB(cfg, full.Matches)
+		full := mustRun(t, core.Full, cfg)
+		ub, err := core.UB(bg, cfg, full.Matches)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,12 +285,12 @@ func TestRevisitBound(t *testing.T) {
 		m, cover := randomModel(rng)
 		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
 		k := cover.MaxSize()
-		smp := core.SMP(cfg)
+		smp := mustRun(t, core.SMP, cfg)
 		if smp.Stats.MaxRevisits > k*k+1 {
 			t.Fatalf("trial %d: SMP revisits %d exceed k²+1 = %d",
 				trial, smp.Stats.MaxRevisits, k*k+1)
 		}
-		mmp, err := core.MMP(cfg)
+		mmp, err := core.MMP(bg, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,7 +308,7 @@ func TestMMPRejectsTypeI(t *testing.T) {
 			return core.NewPairSet()
 		},
 	}
-	_, err := core.MMP(core.Config{
+	_, err := core.MMP(bg, core.Config{
 		Cover:   core.NewCover(2, [][]core.EntityID{{0, 1}}),
 		Matcher: plain,
 	})
@@ -324,7 +324,7 @@ func TestUBRequiresDecider(t *testing.T) {
 			return core.NewPairSet()
 		},
 	}
-	_, err := core.UB(core.Config{
+	_, err := core.UB(bg, core.Config{
 		Cover:   core.NewCover(2, [][]core.EntityID{{0, 1}}),
 		Matcher: plain,
 	}, core.NewPairSet())
@@ -337,7 +337,7 @@ func TestUBRequiresDecider(t *testing.T) {
 func TestStatsPlumbing(t *testing.T) {
 	m, cover, _ := testmodel.PaperExample()
 	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
-	res := core.SMP(cfg)
+	res := mustRun(t, core.SMP, cfg)
 	if res.Stats.Neighborhoods != 3 {
 		t.Errorf("Neighborhoods = %d", res.Stats.Neighborhoods)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -13,8 +14,9 @@ import (
 // recall. It is not an algorithm (it consumes the ground truth) — it is
 // the reference the paper's completeness measurements are made against.
 //
-// The matcher must implement ConditionalDecider.
-func UB(cfg Config, truth PairSet) (*Result, error) {
+// The matcher must implement ConditionalDecider. Cancellation of ctx
+// aborts between pair decisions.
+func UB(ctx context.Context, cfg Config, truth PairSet) (*Result, error) {
 	dec, ok := cfg.Matcher.(ConditionalDecider)
 	if !ok {
 		return nil, fmt.Errorf("core: UB requires a ConditionalDecider matcher, got %T", cfg.Matcher)
@@ -28,6 +30,9 @@ func UB(cfg Config, truth PairSet) (*Result, error) {
 		all[i] = EntityID(i)
 	}
 	for _, p := range cfg.Matcher.Candidates(all) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Stats.MatcherCalls++
 		if dec.DecideGiven(p, truth) {
 			res.Matches.Add(p)

@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,6 +49,10 @@ type Config struct {
 	CostExponent float64
 	// Fig3fSteps is the number of prefix sizes swept in Figure 3(f).
 	Fig3fSteps int
+	// Parallelism bounds concurrent neighborhood evaluations in every
+	// scheme run (0/1 = serial; timing columns are only meaningful
+	// serially, accuracy columns are parallelism-invariant).
+	Parallelism int
 }
 
 // Default returns a configuration sized for interactive runs.
@@ -127,7 +132,18 @@ func fmtCost(c float64) string { return fmt.Sprintf("%.2e", c) }
 // setup builds a fully wired experiment for a corpus kind.
 func setup(kind cem.DatasetKind, cfg Config) (*cem.Experiment, error) {
 	d := cem.NewDataset(kind, cfg.Scale, cfg.Seed)
-	return cem.Setup(d, cem.DefaultOptions())
+	return cem.New(d)
+}
+
+// run executes one scheme through the Runner API, propagating the
+// configured parallelism.
+func run(exp *cem.Experiment, matcher string, s cem.Scheme, cfg Config, opts ...cem.RunnerOption) (*cem.Result, error) {
+	opts = append(opts, cem.WithParallelism(cfg.Parallelism))
+	r, err := exp.Runner(matcher, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(context.Background(), s)
 }
 
 // accuracyTable runs the given schemes with a matcher and tabulates
@@ -145,14 +161,14 @@ func accuracyTable(id, title string, kind cem.DatasetKind, matcher cem.MatcherKi
 	// RULES is evaluated with transitive closure applied at the end of
 	// the run, exactly as Appendix B prescribes; the MLN rule set has no
 	// transitivity rule, so its output is scored raw.
-	closing := matcher == cem.MatcherRules
+	var ropts []cem.RunnerOption
+	if matcher == cem.MatcherRules {
+		ropts = append(ropts, cem.WithTransitiveClosure())
+	}
 	for _, s := range schemes {
-		res, err := exp.Run(s, matcher)
+		res, err := run(exp, matcher, s, cfg, ropts...)
 		if err != nil {
 			return nil, err
-		}
-		if closing {
-			res.Matches = exp.TransitiveClosure(res.Matches)
 		}
 		r := exp.Evaluate(res)
 		t.Rows = append(t.Rows, []string{
@@ -196,16 +212,16 @@ func Fig3c(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ub, err := exp.Run(cem.SchemeUB, cem.MatcherMLN)
+		ub, err := run(exp, cem.MatcherMLN, cem.SchemeUB, cfg)
 		if err != nil {
 			return nil, err
 		}
-		full, err := exp.Run(cem.SchemeFull, cem.MatcherMLN)
+		full, err := run(exp, cem.MatcherMLN, cem.SchemeFull, cfg)
 		if err != nil {
 			return nil, err
 		}
 		for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
-			res, err := exp.Run(s, cem.MatcherMLN)
+			res, err := run(exp, cem.MatcherMLN, s, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -236,7 +252,7 @@ func timeTable(id, title string, kind cem.DatasetKind, cfg Config) (*Table, erro
 		Header: []string{"scheme", "wall", "matcher", "evals", "active-decisions", "modeled-cost"},
 	}
 	for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
-		res, err := exp.Run(s, cem.MatcherMLN)
+		res, err := run(exp, cem.MatcherMLN, s, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -340,7 +356,7 @@ func Fig3f(cfg Config) (*Table, error) {
 		fullWall := time.Since(fullStart)
 		fullCost := modeledCost([]int{decisionsAt[k]}, cfg.CostExponent)
 
-		mmp, err := core.MMP(cfgCore)
+		mmp, err := core.MMP(context.Background(), cfgCore)
 		if err != nil {
 			return nil, err
 		}
@@ -364,10 +380,15 @@ func Fig3f(cfg Config) (*Table, error) {
 // G-machine times and the resulting speedup per scheme.
 func Table1(cfg Config) (*Table, error) {
 	d := cem.NewDataset(cem.DBLPBig, cfg.Scale, cfg.Seed)
-	exp, err := cem.Setup(d, cem.DefaultOptions())
+	exp, err := cem.New(d)
 	if err != nil {
 		return nil, err
 	}
+	runner, err := exp.Runner(cem.MatcherMLN, cem.WithParallelism(cfg.Parallelism))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
 	// Simulated service times follow the Alchemy-like cost model (the
 	// paper's single-machine runs took hours on DBLP-BIG; our exact
 	// solver is orders of magnitude faster, so measured times would be
@@ -386,14 +407,13 @@ func Table1(cfg Config) (*Table, error) {
 		Title:  fmt.Sprintf("grid running times, DBLP-BIG-like, %d machines", cfg.Machines),
 		Header: []string{"scheme", "single-machine", "grid", "speedup", "rounds", "jobs"},
 	}
-	type runner func() (*grid.Result, error)
 	runs := []struct {
 		name string
-		run  runner
+		run  func() (*grid.Result, error)
 	}{
-		{"NO-MP", func() (*grid.Result, error) { return exp.RunGrid(cem.SchemeNoMP, cem.MatcherMLN, g) }},
-		{"SMP", func() (*grid.Result, error) { return exp.RunGrid(cem.SchemeSMP, cem.MatcherMLN, g) }},
-		{"MMP", func() (*grid.Result, error) { return exp.RunGrid(cem.SchemeMMP, cem.MatcherMLN, g) }},
+		{"NO-MP", func() (*grid.Result, error) { return runner.RunGrid(ctx, cem.SchemeNoMP, g) }},
+		{"SMP", func() (*grid.Result, error) { return runner.RunGrid(ctx, cem.SchemeSMP, g) }},
+		{"MMP", func() (*grid.Result, error) { return runner.RunGrid(ctx, cem.SchemeMMP, g) }},
 	}
 	for _, r := range runs {
 		res, err := r.run()
@@ -443,7 +463,7 @@ func Fig4c(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeFull} {
-			res, err := exp.Run(s, cem.MatcherRules)
+			res, err := run(exp, cem.MatcherRules, s, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -497,7 +517,7 @@ func AblationCover(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		for _, s := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
-			res, err := exp.Run(s, cem.MatcherMLN)
+			res, err := run(exp, cem.MatcherMLN, s, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -552,7 +572,7 @@ func LearnedWeights(cfg Config) (*Table, error) {
 			if err := held.MLN.SetWeights(variant.w); err != nil {
 				return nil, err
 			}
-			res, err := held.Run(cem.SchemeSMP, cem.MatcherMLN)
+			res, err := run(held, cem.MatcherMLN, cem.SchemeSMP, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -591,11 +611,11 @@ func Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		smp, err := exp.Run(cem.SchemeSMP, cem.MatcherMLN)
+		smp, err := run(exp, cem.MatcherMLN, cem.SchemeSMP, sub)
 		if err != nil {
 			return nil, err
 		}
-		mmp, err := exp.Run(cem.SchemeMMP, cem.MatcherMLN)
+		mmp, err := run(exp, cem.MatcherMLN, cem.SchemeMMP, sub)
 		if err != nil {
 			return nil, err
 		}

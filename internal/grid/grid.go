@@ -13,6 +13,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -104,8 +105,9 @@ func activeDecisions(m core.Matcher, entities []core.EntityID, evidence core.Pai
 
 // runRound executes the given neighborhoods in parallel with the current
 // evidence snapshot and returns the per-job results. withMessages also
-// runs COMPUTEMAXIMAL per job (MMP).
-func runRound(cfg core.Config, gcfg Config, active []int32, evidence core.PairSet, withMessages bool) []job {
+// runs COMPUTEMAXIMAL per job (MMP). Jobs not yet started when ctx is
+// canceled are skipped.
+func runRound(ctx context.Context, cfg core.Config, gcfg Config, active []int32, evidence core.PairSet, withMessages bool) []job {
 	workers := gcfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -119,6 +121,9 @@ func runRound(cfg core.Config, gcfg Config, active []int32, evidence core.PairSe
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			entities := cfg.Cover.Sets[id]
 			start := time.Now()
 			mc := cfg.Matcher.Match(entities, evidence, cfg.Negative)
@@ -169,27 +174,27 @@ func sumService(jobs []job) time.Duration {
 
 // NoMP runs the NO-MP baseline on the grid: a single parallel round over
 // all neighborhoods.
-func NoMP(cfg core.Config, gcfg Config) (*Result, error) {
-	return run(cfg, gcfg, "NO-MP", false, false)
+func NoMP(ctx context.Context, cfg core.Config, gcfg Config) (*Result, error) {
+	return run(ctx, cfg, gcfg, "NO-MP", false, false)
 }
 
 // SMP runs the simple message-passing scheme in parallel rounds. The
 // output equals sequential core.SMP for well-behaved matchers
 // (consistency, Theorem 2).
-func SMP(cfg core.Config, gcfg Config) (*Result, error) {
-	return run(cfg, gcfg, "SMP", true, false)
+func SMP(ctx context.Context, cfg core.Config, gcfg Config) (*Result, error) {
+	return run(ctx, cfg, gcfg, "SMP", true, false)
 }
 
 // MMP runs the maximal message-passing scheme in parallel rounds: the
 // Reduce phase merges maximal messages and promotes sound ones.
-func MMP(cfg core.Config, gcfg Config) (*Result, error) {
+func MMP(ctx context.Context, cfg core.Config, gcfg Config) (*Result, error) {
 	if _, ok := cfg.Matcher.(core.Probabilistic); !ok {
 		return nil, fmt.Errorf("grid: MMP requires a Probabilistic matcher, got %T", cfg.Matcher)
 	}
-	return run(cfg, gcfg, "MMP", true, true)
+	return run(ctx, cfg, gcfg, "MMP", true, true)
 }
 
-func run(cfg core.Config, gcfg Config, scheme string, iterate, withMessages bool) (*Result, error) {
+func run(ctx context.Context, cfg core.Config, gcfg Config, scheme string, iterate, withMessages bool) (*Result, error) {
 	if err := gcfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,40 +213,32 @@ func run(cfg core.Config, gcfg Config, scheme string, iterate, withMessages bool
 	prob, _ := cfg.Matcher.(core.Probabilistic)
 
 	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Rounds++
-		jobs := runRound(cfg, gcfg, active, res.Matches, withMessages)
+		jobs := runRound(ctx, cfg, gcfg, active, res.Matches, withMessages)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.JobsRun += len(jobs)
 		res.SimulatedGridTime += simulateAssignment(rng, jobs, gcfg.Machines) + gcfg.RoundOverhead
 		res.SimulatedSingleTime += sumService(jobs) + gcfg.RoundOverhead
 
-		// Reduce: merge new matches (and messages), then find affected.
-		var newMatches []core.Pair
+		// Reduce: merge new matches (and messages) through the shared
+		// round reducer, then find affected.
+		red := core.NewRoundReducer(res.Matches, store, prob, nil)
 		for _, j := range jobs {
-			for p := range j.matches {
-				if !res.Matches.Has(p) {
-					res.Matches.Add(p)
-					newMatches = append(newMatches, p)
-				}
-			}
-			if store != nil {
-				for _, msg := range j.messages {
-					if len(msg) >= 2 { // singletons are subsumed by re-evaluation
-						store.Add(msg)
-					}
-				}
-			}
+			red.Add(j.matches, j.messages)
 		}
-		if store != nil && prob != nil {
-			promoted := core.PromoteMessages(prob, store, res.Matches)
-			newMatches = append(newMatches, promoted...)
-		}
+		red.Promote()
 		if !iterate {
 			break
 		}
-		if len(newMatches) == 0 {
+		if len(red.New) == 0 {
 			break
 		}
-		affectedSet := cfg.Cover.Affected(newMatches, cfg.Relation)
+		affectedSet := cfg.Cover.Affected(red.New, cfg.Relation)
 		active = active[:0]
 		active = append(active, affectedSet...)
 		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,6 +11,18 @@ import (
 	"repro/internal/mln"
 	"repro/internal/testmodel"
 )
+
+var bg = context.Background()
+
+// mustSeq runs a sequential core scheme, failing the test on error.
+func mustSeq(t *testing.T, fn func(context.Context, core.Config) (*core.Result, error), cfg core.Config) *core.Result {
+	t.Helper()
+	res, err := fn(bg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func gridConfig() Config {
 	return Config{Machines: 4, RoundOverhead: time.Millisecond, Seed: 1}
@@ -26,8 +39,8 @@ func paperCfg() core.Config {
 func TestGridMatchesSequential(t *testing.T) {
 	cfg := paperCfg()
 
-	seqNo := core.NoMP(cfg)
-	gridNo, err := NoMP(cfg, gridConfig())
+	seqNo := mustSeq(t, core.NoMP, cfg)
+	gridNo, err := NoMP(bg, cfg, gridConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,8 +49,8 @@ func TestGridMatchesSequential(t *testing.T) {
 			gridNo.Matches.Sorted(), seqNo.Matches.Sorted())
 	}
 
-	seqSMP := core.SMP(cfg)
-	gridSMP, err := SMP(cfg, gridConfig())
+	seqSMP := mustSeq(t, core.SMP, cfg)
+	gridSMP, err := SMP(bg, cfg, gridConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +59,11 @@ func TestGridMatchesSequential(t *testing.T) {
 			gridSMP.Matches.Sorted(), seqSMP.Matches.Sorted())
 	}
 
-	seqMMP, err := core.MMP(cfg)
+	seqMMP, err := core.MMP(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gridMMP, err := MMP(cfg, gridConfig())
+	gridMMP, err := MMP(bg, cfg, gridConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,8 +89,8 @@ func TestGridMatchesSequentialGenerated(t *testing.T) {
 	}
 	cfg := core.Config{Cover: cover, Matcher: m, Relation: d.Coauthor()}
 
-	seq := core.SMP(cfg)
-	par, err := SMP(cfg, gridConfig())
+	seq := mustSeq(t, core.SMP, cfg)
+	par, err := SMP(bg, cfg, gridConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +99,11 @@ func TestGridMatchesSequentialGenerated(t *testing.T) {
 			par.Matches.Len(), seq.Matches.Len())
 	}
 
-	seqM, err := core.MMP(cfg)
+	seqM, err := core.MMP(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parM, err := MMP(cfg, gridConfig())
+	parM, err := MMP(bg, cfg, gridConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +120,7 @@ func TestGridRejectsTypeIForMMP(t *testing.T) {
 		},
 	}
 	cfg := core.Config{Cover: core.NewCover(2, [][]core.EntityID{{0, 1}}), Matcher: plain}
-	if _, err := MMP(cfg, gridConfig()); err == nil {
+	if _, err := MMP(bg, cfg, gridConfig()); err == nil {
 		t.Fatal("grid MMP accepted a Type-I matcher")
 	}
 }
@@ -120,7 +133,7 @@ func TestGridConfigValidation(t *testing.T) {
 		{Machines: 2, Workers: -1},
 	}
 	for i, g := range bad {
-		if _, err := NoMP(cfg, g); err == nil {
+		if _, err := NoMP(bg, cfg, g); err == nil {
 			t.Errorf("case %d: invalid grid config accepted", i)
 		}
 	}
@@ -143,7 +156,7 @@ func TestSpeedupBounds(t *testing.T) {
 	}
 	cfg := core.Config{Cover: cover, Matcher: m, Relation: d.Coauthor()}
 	g := Config{Machines: 8, RoundOverhead: 0, Seed: 3}
-	res, err := SMP(cfg, g)
+	res, err := SMP(bg, cfg, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +181,11 @@ func TestSpeedupBounds(t *testing.T) {
 // advantage shrinks — the Table 1 mechanism.
 func TestOverheadReducesSpeedup(t *testing.T) {
 	cfg := paperCfg()
-	fast, err := SMP(cfg, Config{Machines: 4, RoundOverhead: 0, Seed: 1})
+	fast, err := SMP(bg, cfg, Config{Machines: 4, RoundOverhead: 0, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := SMP(cfg, Config{Machines: 4, RoundOverhead: 50 * time.Millisecond, Seed: 1})
+	slow, err := SMP(bg, cfg, Config{Machines: 4, RoundOverhead: 50 * time.Millisecond, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +198,7 @@ func TestOverheadReducesSpeedup(t *testing.T) {
 
 func TestSingleRoundNoMP(t *testing.T) {
 	cfg := paperCfg()
-	res, err := NoMP(cfg, gridConfig())
+	res, err := NoMP(bg, cfg, gridConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +220,7 @@ func TestServiceModel(t *testing.T) {
 		Seed:         1,
 		ServiceModel: func(active int) time.Duration { return time.Duration(active) * unit },
 	}
-	res, err := NoMP(cfg, g)
+	res, err := NoMP(bg, cfg, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +237,7 @@ func TestServiceModel(t *testing.T) {
 		t.Error("grid time exceeds single-machine time")
 	}
 	// The model must not change the matching output.
-	plain, err := NoMP(cfg, Config{Machines: 2, Seed: 1})
+	plain, err := NoMP(bg, cfg, Config{Machines: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -302,8 +303,14 @@ func TestSMPCompleteVsFull(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		d, m, cover := generated(t, seed, 0.12)
 		cfg := core.Config{Cover: cover, Matcher: m, Relation: d.Coauthor()}
-		smp := core.SMP(cfg)
-		full := core.Full(cfg)
+		smp, err := core.SMP(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := core.Full(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !smp.Matches.Equal(full.Matches) {
 			extra := smp.Matches.Minus(full.Matches)
 			missing := full.Matches.Minus(smp.Matches)

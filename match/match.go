@@ -1,0 +1,110 @@
+// Package match is the public contract between the cem framework and
+// black-box entity matchers. Third-party matchers implement the Matcher
+// (Type-I) or Probabilistic (Type-II) interfaces defined here — using
+// only this package and the root cem package, never repro/internal/… —
+// and are plugged into the framework with cem.RegisterMatcher.
+//
+// The types are aliases of the framework's internal core types, so a
+// matcher written against this package satisfies the engine's interfaces
+// directly, with no adaptation layer and no copying at the boundary.
+package match
+
+import (
+	"repro/internal/bib"
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/similarity"
+)
+
+// EntityID identifies an entity. Ids are dense in [0, n).
+type EntityID = core.EntityID
+
+// Pair is an unordered entity pair, normalized so A < B (build with
+// MakePair).
+type Pair = core.Pair
+
+// PairSet is a set of normalized pairs (build with NewPairSet).
+type PairSet = core.PairSet
+
+// Matcher is the Type-I black-box abstraction (Definition 1): a
+// deterministic function E(E, V+, V−) from an entity subset and
+// positive/negative evidence to a set of matches. Implementations must
+// be safe for concurrent Match/Candidates calls — the engine evaluates
+// independent neighborhoods in parallel.
+type Matcher = core.Matcher
+
+// Probabilistic is the Type-II abstraction (Definition 5): a Matcher
+// backed by a probability distribution over match sets, exposing
+// LogScore. Required by the MMP scheme and the UB oracle.
+type Probabilistic = core.Probabilistic
+
+// ConditionalDecider is the optional extension required by the UB
+// oracle (§6.1).
+type ConditionalDecider = core.ConditionalDecider
+
+// MatcherFunc adapts plain functions to the Matcher interface — the
+// quickest way to register a custom black box.
+type MatcherFunc = core.MatcherFunc
+
+// Result is the raw outcome of one scheme run.
+type Result = core.Result
+
+// RunStats instruments a run (matcher calls, evaluations, messages,
+// promoted sets, wall time, …).
+type RunStats = core.RunStats
+
+// ProgressEvent is delivered to progress callbacks after every
+// neighborhood evaluation.
+type ProgressEvent = core.ProgressEvent
+
+// Order selects the scheduling discipline of the serial schedulers.
+type Order = core.Order
+
+// Scheduling disciplines (immaterial for correctness — Theorems 2/4).
+const (
+	OrderFIFO          = core.OrderFIFO
+	OrderLIFO          = core.OrderLIFO
+	OrderSmallestFirst = core.OrderSmallestFirst
+	OrderLargestFirst  = core.OrderLargestFirst
+)
+
+// Dataset is a bibliographic corpus: papers, author references, and
+// (for synthetic corpora) ground-truth author ids.
+type Dataset = bib.Dataset
+
+// Paper is one publication with the ids of its author references.
+type Paper = bib.Paper
+
+// Reference is one author occurrence on a paper; True carries the
+// ground-truth author id (−1 when unknown).
+type Reference = bib.Reference
+
+// Level grades the string similarity of a candidate pair, 1–3 with 3
+// strongest; LevelNone means "not a candidate".
+type Level = similarity.Level
+
+// Similarity levels of candidate pairs.
+const (
+	LevelNone   = similarity.LevelNone
+	LevelWeak   = similarity.LevelWeak
+	LevelMedium = similarity.LevelMedium
+	LevelStrong = similarity.LevelStrong
+)
+
+// Rule is one clause of a Dedupalog*-style monotone rule program: a
+// pair at exactly Level matches once at least MinCoauthorMatches of its
+// coauthor pairs are matched.
+type Rule = rules.Rule
+
+// Candidate is one in-scope matching decision handed to matcher
+// factories: a normalized reference pair plus its similarity level.
+type Candidate struct {
+	Pair  Pair
+	Level Level
+}
+
+// MakePair returns the normalized pair {a, b}.
+func MakePair(a, b EntityID) Pair { return core.MakePair(a, b) }
+
+// NewPairSet returns an empty set, optionally seeded with pairs.
+func NewPairSet(pairs ...Pair) PairSet { return core.NewPairSet(pairs...) }

@@ -1,0 +1,89 @@
+package cem
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mln"
+	"repro/internal/rules"
+	"repro/match"
+)
+
+// MatcherContext is the per-experiment input handed to matcher
+// factories: the dataset, the in-scope matching decisions (candidate
+// pairs with similarity levels), and the setup options. Factories must
+// not mutate the context's slices.
+type MatcherContext struct {
+	Dataset    *match.Dataset
+	Candidates []match.Candidate
+	Options    Options
+}
+
+// MatcherFactory grounds a black-box matcher for one experiment. The
+// returned matcher must satisfy match.Matcher; matchers additionally
+// implementing match.Probabilistic unlock the MMP scheme, and
+// match.ConditionalDecider unlocks the UB oracle.
+type MatcherFactory func(MatcherContext) (match.Matcher, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]MatcherFactory{}
+)
+
+// RegisterMatcher makes a matcher available to every Experiment under
+// the given name. It is typically called from an init function. It
+// panics if name is empty, factory is nil, or name is already
+// registered (like database/sql.Register).
+func RegisterMatcher(name string, factory MatcherFactory) {
+	if name == "" {
+		panic("cem: RegisterMatcher with empty name")
+	}
+	if factory == nil {
+		panic("cem: RegisterMatcher with nil factory for " + name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("cem: RegisterMatcher called twice for " + name)
+	}
+	registry[name] = factory
+}
+
+// Matchers returns the sorted names of all registered matchers.
+func Matchers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupMatcher resolves a registered factory.
+func lookupMatcher(name string) (MatcherFactory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// The built-in matchers register through the same public path as
+// third-party ones.
+func init() {
+	RegisterMatcher(MatcherMLN, func(mc MatcherContext) (match.Matcher, error) {
+		cands := make([]mln.Candidate, len(mc.Candidates))
+		for i, c := range mc.Candidates {
+			cands[i] = mln.Candidate{Pair: c.Pair, Level: c.Level}
+		}
+		return mln.New(mc.Dataset, cands, mc.Options.MLNWeights)
+	})
+	RegisterMatcher(MatcherRules, func(mc MatcherContext) (match.Matcher, error) {
+		cands := make([]rules.Candidate, len(mc.Candidates))
+		for i, c := range mc.Candidates {
+			cands[i] = rules.Candidate{Pair: c.Pair, Level: c.Level}
+		}
+		return rules.New(mc.Dataset, cands, mc.Options.Rules)
+	})
+}

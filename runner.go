@@ -1,0 +1,199 @@
+package cem
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/match"
+)
+
+// Result is the outcome of a Runner run: the raw scheme result plus the
+// run's provenance. The embedded core result exposes Matches and Stats.
+type Result struct {
+	*core.Result
+	// Matcher is the registry name of the matcher that produced this
+	// result.
+	Matcher string
+	// Closed reports whether WithTransitiveClosure post-processed the
+	// match set.
+	Closed bool
+}
+
+// Runner executes schemes for one experiment with one matcher under a
+// fixed set of options. Build with Experiment.Runner; a Runner is
+// immutable after construction and safe for concurrent use.
+type Runner struct {
+	exp         *Experiment
+	name        string
+	matcher     match.Matcher
+	parallelism int
+	order       match.Order
+	negative    match.PairSet
+	progress    func(match.ProgressEvent)
+	stats       func(match.RunStats)
+	closure     bool
+}
+
+// RunnerOption customizes a Runner.
+type RunnerOption func(*Runner)
+
+// WithParallelism evaluates up to n neighborhoods concurrently: NO-MP on
+// a worker pool, SMP/MMP in round-based map/reduce over shared memory.
+// The output is unchanged for well-behaved matchers (Theorems 2 and 4).
+// n <= 1 runs serially.
+func WithParallelism(n int) RunnerOption {
+	return func(r *Runner) { r.parallelism = n }
+}
+
+// WithProgress installs a callback invoked (sequentially) after every
+// neighborhood evaluation. Callbacks must be fast; they sit on the
+// scheduling path.
+func WithProgress(fn func(match.ProgressEvent)) RunnerOption {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// WithStats installs a callback that receives the run statistics after
+// every completed Run.
+func WithStats(fn func(match.RunStats)) RunnerOption {
+	return func(r *Runner) { r.stats = fn }
+}
+
+// WithTransitiveClosure applies the transitive closure to the match set
+// at the end of every run — the Appendix A post-processing step the
+// paper prescribes for the RULES matcher.
+func WithTransitiveClosure() RunnerOption {
+	return func(r *Runner) { r.closure = true }
+}
+
+// WithOrder sets the serial scheduling discipline of the active set.
+// Output is order-invariant for well-behaved matchers; the knob shifts
+// how quickly evidence accumulates. Ignored when parallelism > 1.
+func WithOrder(o match.Order) RunnerOption {
+	return func(r *Runner) { r.order = o }
+}
+
+// WithNegativeEvidence seeds the run with V− — pairs known NOT to match,
+// passed to every matcher invocation (Definition 1).
+func WithNegativeEvidence(neg match.PairSet) RunnerOption {
+	return func(r *Runner) { r.negative = neg }
+}
+
+// Runner builds a scheme executor for the named matcher ("mln", "rules",
+// or any name passed to RegisterMatcher). The matcher is instantiated on
+// first use and cached per experiment.
+func (e *Experiment) Runner(matcher string, opts ...RunnerOption) (*Runner, error) {
+	m, err := e.matcher(matcher)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{exp: e, name: matcher, matcher: m}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Name returns the registry name of the runner's matcher.
+func (r *Runner) Name() string { return r.name }
+
+// Matcher returns the grounded matcher instance.
+func (r *Runner) Matcher() match.Matcher { return r.matcher }
+
+// coreConfig assembles the framework configuration for this runner.
+func (r *Runner) coreConfig() core.Config {
+	return core.Config{
+		Cover:       r.exp.Cover,
+		Matcher:     r.matcher,
+		Relation:    r.exp.Dataset.Coauthor(),
+		Negative:    r.negative,
+		Order:       r.order,
+		Parallelism: r.parallelism,
+		Progress:    r.progress,
+	}
+}
+
+// Run executes one scheme. The context cancels or deadlines the run
+// between neighborhood evaluations; a canceled run returns ctx.Err().
+func (r *Runner) Run(ctx context.Context, s Scheme) (*Result, error) {
+	cfg := r.coreConfig()
+	var (
+		raw *core.Result
+		err error
+	)
+	switch s {
+	case SchemeNoMP:
+		raw, err = core.NoMP(ctx, cfg)
+	case SchemeSMP:
+		raw, err = core.SMP(ctx, cfg)
+	case SchemeMMP:
+		raw, err = core.MMP(ctx, cfg)
+	case SchemeFull:
+		raw, err = core.Full(ctx, cfg)
+	case SchemeUB:
+		raw, err = core.UB(ctx, cfg, r.exp.Truth)
+	default:
+		return nil, fmt.Errorf("cem: unknown scheme %q", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.closure {
+		raw.Matches = r.exp.TransitiveClosure(raw.Matches)
+	}
+	if r.stats != nil {
+		r.stats(raw.Stats)
+	}
+	return &Result{Result: raw, Matcher: r.name, Closed: r.closure}, nil
+}
+
+// RunGrid executes one scheme on the simulated grid (§6.3): parallel
+// rounds with real goroutine execution and a simulated G-machine clock.
+func (r *Runner) RunGrid(ctx context.Context, s Scheme, gcfg grid.Config) (*grid.Result, error) {
+	cfg := r.coreConfig()
+	var (
+		res *grid.Result
+		err error
+	)
+	switch s {
+	case SchemeNoMP:
+		res, err = grid.NoMP(ctx, cfg, gcfg)
+	case SchemeSMP:
+		res, err = grid.SMP(ctx, cfg, gcfg)
+	case SchemeMMP:
+		res, err = grid.MMP(ctx, cfg, gcfg)
+	default:
+		return nil, fmt.Errorf("cem: scheme %q not supported on the grid", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.closure {
+		res.Matches = r.exp.TransitiveClosure(res.Matches)
+	}
+	return res, nil
+}
+
+// Run executes one scheme with one matcher and returns the result.
+//
+// Deprecated: build a Runner and pass a context; this wrapper uses
+// context.Background and no options.
+func (e *Experiment) Run(s Scheme, kind MatcherKind) (*Result, error) {
+	r, err := e.Runner(kind)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(context.Background(), s)
+}
+
+// RunGrid executes one scheme on the simulated grid (§6.3).
+//
+// Deprecated: build a Runner and use Runner.RunGrid with a context.
+func (e *Experiment) RunGrid(s Scheme, kind MatcherKind, gcfg grid.Config) (*grid.Result, error) {
+	r, err := e.Runner(kind)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunGrid(context.Background(), s, gcfg)
+}
