@@ -107,6 +107,73 @@ func BenchmarkFullRulesDblp(b *testing.B) {
 	benchScheme(b, cem.DBLP, cem.SchemeFull, cem.MatcherRules)
 }
 
+// --- blocking stage and end-to-end pipeline ---------------------------
+
+// benchBlocking measures the sharded blocking stage alone (dataset →
+// total cover) through the public pipeline configuration.
+func benchBlocking(b *testing.B, kind cem.DatasetKind, shards int) {
+	b.Helper()
+	records, err := cem.GenerateRecords(kind, 0.25, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// NoMP with the cheap rules matcher keeps the post-blocking stages
+	// negligible; BlockingTime is reported as the metric of interest.
+	pipe, err := cem.NewPipeline(
+		cem.WithMatcher(cem.MatcherRules),
+		cem.WithScheme(cem.SchemeNoMP),
+		cem.WithShards(shards),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var blocking time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipe.Run(ctx, records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocking += res.BlockingTime
+	}
+	b.ReportMetric(float64(blocking.Nanoseconds())/float64(b.N), "blocking-ns/op")
+}
+
+func BenchmarkBlockingSerialHepth(b *testing.B)  { benchBlocking(b, cem.HEPTH, 1) }
+func BenchmarkBlockingShardedHepth(b *testing.B) { benchBlocking(b, cem.HEPTH, runtime.NumCPU()) }
+func BenchmarkBlockingSerialDblp(b *testing.B)   { benchBlocking(b, cem.DBLP, 1) }
+func BenchmarkBlockingShardedDblp(b *testing.B)  { benchBlocking(b, cem.DBLP, runtime.NumCPU()) }
+
+// benchPipeline measures the full records→matches→metrics path.
+func benchPipeline(b *testing.B, kind cem.DatasetKind, scheme cem.Scheme) {
+	b.Helper()
+	records, err := cem.GenerateRecords(kind, 0.25, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := cem.NewPipeline(
+		cem.WithMatcher(cem.MatcherMLN),
+		cem.WithScheme(scheme),
+		cem.WithShards(runtime.NumCPU()),
+		cem.WithRunnerOptions(cem.WithParallelism(runtime.NumCPU())),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Run(ctx, records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineSMPHepth(b *testing.B) { benchPipeline(b, cem.HEPTH, cem.SchemeSMP) }
+func BenchmarkPipelineSMPDblp(b *testing.B)  { benchPipeline(b, cem.DBLP, cem.SchemeSMP) }
+func BenchmarkPipelineMMPDblp(b *testing.B)  { benchPipeline(b, cem.DBLP, cem.SchemeMMP) }
+
 // BenchmarkSetup measures cover construction plus matcher grounding.
 func BenchmarkSetup(b *testing.B) {
 	d := cem.NewDataset(cem.HEPTH, 0.25, 42)

@@ -103,6 +103,15 @@ const (
 // external modules can name it without importing internal packages.
 type CanopyConfig = canopy.Config
 
+// Report is one evaluated run: pairwise precision/recall/F1 against
+// ground truth plus framework-level soundness/completeness. Aliased so
+// external modules can name evaluation results without importing
+// internal packages.
+type Report = eval.Report
+
+// PRF holds precision, recall and F1 (pairwise or B-cubed).
+type PRF = eval.PRF
+
 // MLNWeights are the built-in Markov-Logic matcher's rule weights.
 type MLNWeights = mln.Weights
 
@@ -163,18 +172,25 @@ func NewDataset(kind DatasetKind, scale float64, seed int64) *match.Dataset {
 // GenerateDataset generates a synthetic corpus of the given kind,
 // reporting unknown kinds and generation failures as errors.
 func GenerateDataset(kind DatasetKind, scale float64, seed int64) (*match.Dataset, error) {
-	var cfg datagen.Config
-	switch kind {
-	case HEPTH:
-		cfg = datagen.HEPTHLike(scale, seed)
-	case DBLP:
-		cfg = datagen.DBLPLike(scale, seed)
-	case DBLPBig:
-		cfg = datagen.DBLPBigLike(scale, seed)
-	default:
-		return nil, fmt.Errorf("cem: unknown dataset kind %q", kind)
+	cfg, err := datagenConfig(kind, scale, seed)
+	if err != nil {
+		return nil, err
 	}
 	return datagen.Generate(cfg)
+}
+
+// datagenConfig maps a dataset kind to its generator preset.
+func datagenConfig(kind DatasetKind, scale float64, seed int64) (datagen.Config, error) {
+	switch kind {
+	case HEPTH:
+		return datagen.HEPTHLike(scale, seed), nil
+	case DBLP:
+		return datagen.DBLPLike(scale, seed), nil
+	case DBLPBig:
+		return datagen.DBLPBigLike(scale, seed), nil
+	default:
+		return datagen.Config{}, fmt.Errorf("cem: unknown dataset kind %q", kind)
+	}
 }
 
 // Experiment is a fully wired instance: dataset, total cover, candidate
@@ -209,10 +225,22 @@ func New(d *match.Dataset, options ...Option) (*Experiment, error) {
 //
 // Deprecated: use New with functional options.
 func Setup(d *match.Dataset, opts Options) (*Experiment, error) {
+	if err := opts.Canopy.Validate(); err != nil {
+		return nil, fmt.Errorf("cem: %w", err)
+	}
+	return setup(d, opts, nil)
+}
+
+// setup wires an experiment, building the cover from opts.Canopy unless
+// a prebuilt one is supplied (the Pipeline path, which constructs its
+// cover sharded and under a context).
+func setup(d *match.Dataset, opts Options, cover *core.Cover) (*Experiment, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("cem: invalid dataset: %w", err)
 	}
-	cover := canopy.BuildCover(d, opts.Canopy)
+	if cover == nil {
+		cover = canopy.BuildCover(d, opts.Canopy)
+	}
 	sp := canopy.CandidatePairs(d, cover)
 	cands := make([]match.Candidate, len(sp))
 	for i, c := range sp {

@@ -7,6 +7,7 @@
 //
 //	emgen -kind hepth -scale 1.0 -seed 42 -out hepth.tsv
 //	emgen -kind dblp -stats
+//	emgen -kind dblp -records -out records.tsv   (raw records for emmatch -records)
 package main
 
 import (
@@ -21,11 +22,12 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "hepth", "corpus kind: hepth | dblp | dblp-big")
-		scale = flag.Float64("scale", 1.0, "size multiplier (1.0 ≈ a few thousand references)")
-		seed  = flag.Int64("seed", 42, "generation seed (deterministic output)")
-		out   = flag.String("out", "", "output file (default: stdout; - for stdout)")
-		stats = flag.Bool("stats", false, "print dataset and cover statistics instead of the dataset")
+		kind    = flag.String("kind", "hepth", "corpus kind: hepth | dblp | dblp-big")
+		scale   = flag.Float64("scale", 1.0, "size multiplier (1.0 ≈ a few thousand references)")
+		seed    = flag.Int64("seed", 42, "generation seed (deterministic output)")
+		out     = flag.String("out", "", "output file (default: stdout; - for stdout)")
+		stats   = flag.Bool("stats", false, "print dataset and cover statistics instead of the dataset")
+		records = flag.Bool("records", false, "write raw records (for emmatch -records) instead of the dataset")
 	)
 	flag.Parse()
 
@@ -57,6 +59,13 @@ func main() {
 			}
 		}()
 		w = f
+	}
+	if *records {
+		if err := bib.WriteRecords(w, d.Name, bib.ToRecords(d)); err != nil {
+			fmt.Fprintf(os.Stderr, "emgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := bib.Write(w, d); err != nil {
 		fmt.Fprintf(os.Stderr, "emgen: %v\n", err)

@@ -1,12 +1,15 @@
 // Command emmatch runs one message-passing scheme with one matcher on a
 // dataset (read from a TSV file produced by emgen, or generated on the
-// fly) and prints the evaluation report.
+// fly) and prints the evaluation report. With -records it instead runs
+// the full ingestion pipeline on a raw records file (emgen -records):
+// blocking, cover construction, matching and evaluation in one pass.
 //
 // Usage:
 //
 //	emmatch -in hepth.tsv -scheme mmp -matcher mln
 //	emmatch -kind dblp -scale 0.5 -scheme smp -matcher rules -closure
 //	emmatch -kind hepth -parallel 8 -progress
+//	emmatch -records records.tsv -scheme smp -shards 4 -bcubed
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 func main() {
 	var (
 		in       = flag.String("in", "", "dataset TSV file (from emgen); empty to generate")
+		records  = flag.String("records", "", "raw records TSV file (from emgen -records); runs the full pipeline")
 		kind     = flag.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
 		scale    = flag.Float64("scale", 0.5, "generated corpus scale")
 		seed     = flag.Int64("seed", 42, "generation seed")
@@ -32,10 +36,28 @@ func main() {
 		closure  = flag.Bool("closure", false, "apply transitive closure to the output before scoring")
 		bcubed   = flag.Bool("bcubed", false, "also print the B-cubed cluster metric")
 		parallel = flag.Int("parallel", 1, "concurrent neighborhood evaluations")
+		shards   = flag.Int("shards", 0, "blocking shards for -records (0 = one per CPU)")
+		maxNbr   = flag.Int("max-neighborhood", 0, "canopy size bound for -records (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print a line per neighborhood evaluation")
 		verbose  = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
+
+	opts := []cem.RunnerOption{cem.WithParallelism(*parallel)}
+	if *closure {
+		opts = append(opts, cem.WithTransitiveClosure())
+	}
+	if *progress {
+		opts = append(opts, cem.WithProgress(func(e match.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "%s: round %d, neighborhood %d, %d evaluations, %d matches\n",
+				e.Scheme, e.Round, e.Neighborhood, e.Evaluations, e.Matches)
+		}))
+	}
+
+	if *records != "" {
+		runPipeline(*records, *scheme, *matcher, *shards, *maxNbr, *bcubed, *verbose, opts)
+		return
+	}
 
 	var d *bib.Dataset
 	if *in != "" {
@@ -43,10 +65,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		d, err = bib.Read(f)
+		var rerr error
+		d, rerr = bib.Read(f)
 		f.Close()
-		if err != nil {
-			fatal(err)
+		if rerr != nil {
+			fatal(rerr)
 		}
 	} else {
 		var err error
@@ -59,16 +82,6 @@ func main() {
 	exp, err := cem.New(d)
 	if err != nil {
 		fatal(err)
-	}
-	opts := []cem.RunnerOption{cem.WithParallelism(*parallel)}
-	if *closure {
-		opts = append(opts, cem.WithTransitiveClosure())
-	}
-	if *progress {
-		opts = append(opts, cem.WithProgress(func(e match.ProgressEvent) {
-			fmt.Fprintf(os.Stderr, "%s: round %d, neighborhood %d, %d evaluations, %d matches\n",
-				e.Scheme, e.Round, e.Neighborhood, e.Evaluations, e.Matches)
-		}))
 	}
 	runner, err := exp.Runner(*matcher, opts...)
 	if err != nil {
@@ -86,6 +99,52 @@ func main() {
 		fmt.Printf("B³:    %v\n", exp.EvaluateBCubed(res))
 	}
 	if *verbose {
+		fmt.Printf("stats: %s\n", res.Stats)
+	}
+}
+
+// runPipeline is the -records path: raw records → blocking → matching →
+// metrics through the public Pipeline API.
+func runPipeline(path, scheme, matcher string, shards, maxNbr int, bcubed, verbose bool, runnerOpts []cem.RunnerOption) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	name, recs, err := cem.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if name == "" {
+		name = path
+	}
+	pipe, err := cem.NewPipeline(
+		cem.WithDatasetName(name),
+		cem.WithMatcher(matcher),
+		cem.WithScheme(cem.Scheme(scheme)),
+		cem.WithShards(shards),
+		cem.WithMaxNeighborhood(maxNbr),
+		cem.WithRunnerOptions(runnerOpts...),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := pipe.Run(context.Background(), recs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("records %s: %d records, %d matches (blocking %v, matching %v)\n",
+		name, res.Records, res.Matches.Len(), res.BlockingTime, res.MatchingTime)
+	fmt.Printf("cover: %s\n", res.Experiment.Cover.ComputeStats())
+	if res.Labeled {
+		fmt.Println(*res.Report)
+		if bcubed {
+			fmt.Printf("B³:    %v\n", *res.BCubed)
+		}
+	} else {
+		fmt.Println("(unlabeled records: no metrics)")
+	}
+	if verbose {
 		fmt.Printf("stats: %s\n", res.Stats)
 	}
 }

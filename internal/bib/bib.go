@@ -91,11 +91,15 @@ func (d *Dataset) Coauthor() *graph.Graph {
 func (d *Dataset) InvalidateCoauthor() { d.coauthor = nil }
 
 // TruePairs returns the ground-truth match set: every unordered pair of
-// references with the same true author. Cost is quadratic per author
+// references with the same true author. References with an unknown label
+// (True < 0) never pair with anything. Cost is quadratic per author
 // cluster, which matches real label distributions (small clusters).
 func (d *Dataset) TruePairs() map[[2]RefID]bool {
 	byAuthor := map[AuthorID][]RefID{}
 	for i := range d.Refs {
+		if d.Refs[i].True < 0 {
+			continue
+		}
 		byAuthor[d.Refs[i].True] = append(byAuthor[d.Refs[i].True], RefID(i))
 	}
 	out := map[[2]RefID]bool{}

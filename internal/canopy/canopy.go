@@ -9,7 +9,11 @@
 package canopy
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/bib"
 	"repro/internal/core"
@@ -43,6 +47,34 @@ type Config struct {
 	// ablation: it trades much larger neighborhoods (and a much more
 	// expensive matcher) for less message traffic.
 	FullBoundary bool
+	// MaxNeighborhood, when > 0, bounds the size of every canopy core:
+	// a canopy keeps its seed plus the MaxNeighborhood-1 most similar
+	// members (ties broken by ascending id). Records dropped by the cap
+	// stay in the seed pool, so they still seed canopies of their own and
+	// the result remains a cover. This is the paper's "sizes of
+	// neighborhoods are bounded" knob at the blocking stage; the later
+	// relational expansion (MaxAligned, totality patching) may still grow
+	// neighborhoods past the cap by a bounded amount.
+	MaxNeighborhood int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Loose <= 0 || c.Loose > 1:
+		return fmt.Errorf("canopy: Loose = %v out of (0,1]", c.Loose)
+	case c.Tight < c.Loose || c.Tight > 1:
+		return fmt.Errorf("canopy: Tight = %v out of [Loose,1]", c.Tight)
+	case c.Q <= 0:
+		return fmt.Errorf("canopy: Q = %d, want > 0", c.Q)
+	case c.MaxAligned < 0:
+		return fmt.Errorf("canopy: negative MaxAligned")
+	case c.MaxNeighborhood < 0:
+		return fmt.Errorf("canopy: negative MaxNeighborhood")
+	case c.MaxNeighborhood > 0 && c.MaxNeighborhood < 2:
+		return fmt.Errorf("canopy: MaxNeighborhood = %d, want 0 (unbounded) or >= 2", c.MaxNeighborhood)
+	}
+	return nil
 }
 
 // DefaultConfig returns thresholds tuned so that (essentially) every pair
@@ -65,37 +97,70 @@ func normalize(name string) string {
 // in at least one canopy. Seeds are processed in ascending index order,
 // making the construction deterministic.
 func Canopies(names []string, cfg Config) [][]core.EntityID {
+	sets, err := CanopiesContext(context.Background(), names, cfg, 1)
+	if err != nil {
+		// Unreachable: a background context never cancels and serial
+		// construction has no other failure mode.
+		panic(err)
+	}
+	return sets
+}
+
+// scored is one canopy candidate of a seed: a record id with its cheap
+// q-gram similarity to the seed.
+type scored struct {
+	id  core.EntityID
+	sim float64
+}
+
+// batchPerShard is how many seeds each shard scores per parallel round.
+// Seeds removed from the pool by an earlier seed of the same round are
+// scored speculatively and discarded, so the batch bounds wasted work.
+const batchPerShard = 32
+
+// CanopiesContext is Canopies with context cancellation and sharded
+// execution: seed scoring — the expensive phase, one q-gram index probe
+// plus a Jaccard per candidate — runs on a pool of `shards` workers
+// (shards <= 0 means GOMAXPROCS), while canopy emission stays serial in
+// ascending seed order. A seed's candidate list depends only on the
+// immutable gram index, never on the evolving seed pool, so the output is
+// byte-identical for every shard count, including 1. A canceled context
+// aborts between rounds with ctx.Err().
+//
+// Each worker keeps a private candidate-dedupe stamp array of n int32s,
+// so working memory is O(shards·n) on top of the gram index; on very
+// large corpora, bound shards accordingly rather than defaulting to one
+// per core.
+func CanopiesContext(ctx context.Context, names []string, cfg Config, shards int) ([][]core.EntityID, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	n := len(names)
+	if max := (n + batchPerShard - 1) / batchPerShard; shards > max && max > 0 {
+		shards = max
+	}
 	norm := make([]string, n)
 	grams := make([]map[string]int, n)
-	for i, name := range names {
-		norm[i] = normalize(name)
-		grams[i] = similarity.QGrams(norm[i], cfg.Q)
+	if err := eachShard(ctx, n, shards, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			norm[i] = normalize(names[i])
+			grams[i] = similarity.QGrams(norm[i], cfg.Q)
+		}
+	}); err != nil {
+		return nil, err
 	}
-	// Inverted index: gram -> ids containing it.
+	// Inverted index: gram -> ids containing it (ids ascending by
+	// construction).
 	index := map[string][]int32{}
 	for i := 0; i < n; i++ {
 		for g := range grams[i] {
 			index[g] = append(index[g], int32(i))
 		}
 	}
-	// Names sharing the same normalized form are interchangeable; group
-	// them so each surface form is scored once per seed.
-	inPool := make([]bool, n)
-	for i := range inPool {
-		inPool[i] = true
-	}
-	var canopies [][]core.EntityID
-	seen := make([]int32, n) // dedupe stamp for candidate collection
-	for i := range seen {
-		seen[i] = -1
-	}
-	for seed := 0; seed < n; seed++ {
-		if !inPool[seed] {
-			continue
-		}
-		// Candidates: everyone sharing at least one gram with the seed.
-		var canopy []core.EntityID
+	// score collects a seed's candidates — everyone sharing at least one
+	// gram, kept when Jaccard >= Loose — using a per-worker dedupe stamp.
+	score := func(seed int, seen []int32) []scored {
+		var out []scored
 		stamp := int32(seed)
 		for g := range grams[seed] {
 			for _, j := range index[g] {
@@ -103,23 +168,129 @@ func Canopies(names []string, cfg Config) [][]core.EntityID {
 					continue
 				}
 				seen[j] = stamp
-				s := jaccard(grams[seed], grams[j])
-				if s >= cfg.Loose {
-					canopy = append(canopy, j)
-					if s >= cfg.Tight {
-						inPool[j] = false
-					}
+				if s := jaccard(grams[seed], grams[j]); s >= cfg.Loose {
+					out = append(out, scored{id: j, sim: s})
 				}
 			}
 		}
-		inPool[seed] = false
-		if len(canopy) == 0 {
-			canopy = []core.EntityID{core.EntityID(seed)}
-		}
-		sort.Slice(canopy, func(a, b int) bool { return canopy[a] < canopy[b] })
-		canopies = append(canopies, canopy)
+		sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+		return out
 	}
-	return canopies
+	stamps := make([][]int32, shards)
+	for w := range stamps {
+		stamps[w] = make([]int32, n)
+		for i := range stamps[w] {
+			stamps[w][i] = -1
+		}
+	}
+	inPool := make([]bool, n)
+	for i := range inPool {
+		inPool[i] = true
+	}
+	var canopies [][]core.EntityID
+	for next := 0; next < n; {
+		// Gather the next round of in-pool seeds.
+		batch := make([]int, 0, shards*batchPerShard)
+		for next < n && len(batch) < shards*batchPerShard {
+			if inPool[next] {
+				batch = append(batch, next)
+			}
+			next++
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Parallel phase: score every seed of the round.
+		cands := make([][]scored, len(batch))
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for bi := w; bi < len(batch); bi += shards {
+					cands[bi] = score(batch[bi], stamps[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Serial phase: emit canopies in seed order, honoring removals
+		// made by earlier seeds of the same round.
+		for bi, seed := range batch {
+			if !inPool[seed] {
+				continue
+			}
+			kept := cands[bi]
+			if len(kept) == 0 {
+				kept = []scored{{id: core.EntityID(seed), sim: 1}}
+			}
+			if cfg.MaxNeighborhood > 0 && len(kept) > cfg.MaxNeighborhood {
+				kept = capCanopy(kept, core.EntityID(seed), cfg.MaxNeighborhood)
+			}
+			canopy := make([]core.EntityID, len(kept))
+			for i, c := range kept {
+				canopy[i] = c.id
+				if c.sim >= cfg.Tight {
+					inPool[c.id] = false
+				}
+			}
+			inPool[seed] = false
+			canopies = append(canopies, canopy)
+		}
+	}
+	return canopies, nil
+}
+
+// capCanopy keeps the seed plus the k-1 most similar candidates (ties by
+// ascending id), returned in ascending id order. Dropped candidates are
+// NOT removed from the seed pool by the caller, preserving the cover
+// property.
+func capCanopy(cands []scored, seed core.EntityID, k int) []scored {
+	byRank := append([]scored(nil), cands...)
+	sort.Slice(byRank, func(a, b int) bool {
+		if byRank[a].id == seed || byRank[b].id == seed {
+			return byRank[a].id == seed
+		}
+		if byRank[a].sim != byRank[b].sim {
+			return byRank[a].sim > byRank[b].sim
+		}
+		return byRank[a].id < byRank[b].id
+	})
+	byRank = byRank[:k]
+	sort.Slice(byRank, func(a, b int) bool { return byRank[a].id < byRank[b].id })
+	return byRank
+}
+
+// eachShard splits [0, n) into `shards` contiguous blocks and runs fn on
+// each concurrently, unless ctx is already canceled.
+func eachShard(ctx context.Context, n, shards int, fn func(lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		fn(0, n)
+		return nil
+	}
+	var wg sync.WaitGroup
+	per := (n + shards - 1) / shards
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
 }
 
 // jaccard computes set Jaccard over two gram maps.
@@ -302,18 +473,39 @@ func AlignedExpand(d *bib.Dataset, sets [][]core.EntityID, maxAligned int) [][]c
 // (cfg.MaxAligned) and patched to totality w.r.t. Coauthor — or fully
 // boundary-expanded when cfg.FullBoundary is set.
 func BuildCover(d *bib.Dataset, cfg Config) *core.Cover {
+	cover, err := BuildCoverContext(context.Background(), d, cfg, 1)
+	if err != nil {
+		panic(err) // unreachable: background context, serial execution
+	}
+	return cover
+}
+
+// BuildCoverContext is BuildCover with context cancellation and sharded
+// canopy construction (shards <= 0 means GOMAXPROCS). The cover is
+// byte-identical for every shard count; a canceled context aborts with
+// ctx.Err().
+func BuildCoverContext(ctx context.Context, d *bib.Dataset, cfg Config, shards int) (*core.Cover, error) {
 	names := make([]string, d.NumRefs())
 	for i := range d.Refs {
 		names[i] = d.Refs[i].Name
 	}
-	sets := Canopies(names, cfg)
+	sets, err := CanopiesContext(ctx, names, cfg, shards)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.FullBoundary {
 		sets = ExpandBoundary(sets, d.Coauthor())
 	} else {
 		sets = AlignedExpand(d, sets, cfg.MaxAligned)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sets = GreedyTotalCover(sets, d.Coauthor())
 	}
-	return core.NewCover(d.NumRefs(), sets)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.NewCover(d.NumRefs(), sets), nil
 }
 
 // SimilarPairs enumerates the candidate pairs of a dataset: unordered

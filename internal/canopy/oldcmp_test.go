@@ -1,0 +1,85 @@
+package canopy
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/similarity"
+)
+
+// canopiesOld is the pre-refactor serial algorithm, kept verbatim to pin
+// the refactor's output.
+func canopiesOld(names []string, cfg Config) [][]core.EntityID {
+	n := len(names)
+	norm := make([]string, n)
+	grams := make([]map[string]int, n)
+	for i, name := range names {
+		norm[i] = normalize(name)
+		grams[i] = similarity.QGrams(norm[i], cfg.Q)
+	}
+	index := map[string][]int32{}
+	for i := 0; i < n; i++ {
+		for g := range grams[i] {
+			index[g] = append(index[g], int32(i))
+		}
+	}
+	inPool := make([]bool, n)
+	for i := range inPool {
+		inPool[i] = true
+	}
+	var canopies [][]core.EntityID
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for seed := 0; seed < n; seed++ {
+		if !inPool[seed] {
+			continue
+		}
+		var canopy []core.EntityID
+		stamp := int32(seed)
+		for g := range grams[seed] {
+			for _, j := range index[g] {
+				if seen[j] == stamp {
+					continue
+				}
+				seen[j] = stamp
+				s := jaccard(grams[seed], grams[j])
+				if s >= cfg.Loose {
+					canopy = append(canopy, j)
+					if s >= cfg.Tight {
+						inPool[j] = false
+					}
+				}
+			}
+		}
+		inPool[seed] = false
+		if len(canopy) == 0 {
+			canopy = []core.EntityID{core.EntityID(seed)}
+		}
+		sort.Slice(canopy, func(a, b int) bool { return canopy[a] < canopy[b] })
+		canopies = append(canopies, canopy)
+	}
+	return canopies
+}
+
+func TestRefactorMatchesOldAlgorithm(t *testing.T) {
+	for _, preset := range []datagen.Config{
+		datagen.HEPTHLike(0.25, 42),
+		datagen.DBLPLike(0.25, 42),
+	} {
+		d := datagen.MustGenerate(preset)
+		names := make([]string, d.NumRefs())
+		for i := range d.Refs {
+			names[i] = d.Refs[i].Name
+		}
+		want := canopiesOld(names, DefaultConfig())
+		got := Canopies(names, DefaultConfig())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: refactored canopies differ from the old algorithm", preset.Name)
+		}
+	}
+}

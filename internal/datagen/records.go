@@ -1,0 +1,17 @@
+package datagen
+
+import "repro/internal/bib"
+
+// GenerateRecords synthesizes a corpus and flattens it into the raw
+// record form the ingestion pipeline consumes: one record per author
+// reference, grouped by paper, labeled with the ground-truth author.
+// This is the datagen-side record-source adapter; bib.DatasetFromRecords
+// round-trips the result into an equivalent dataset (modulo titles,
+// years and citations, which carry no matching signal).
+func GenerateRecords(c Config) ([]bib.Record, error) {
+	d, err := Generate(c)
+	if err != nil {
+		return nil, err
+	}
+	return bib.ToRecords(d), nil
+}

@@ -1,0 +1,51 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/bib"
+)
+
+// TestGenerateRecordsEquivalentDataset: the record adapter preserves the
+// matching-relevant structure — names, grouping (coauthorship) and gold
+// labels survive the dataset → records → dataset round trip exactly.
+func TestGenerateRecordsEquivalentDataset(t *testing.T) {
+	cfg := DBLPLike(0.2, 17)
+	direct := MustGenerate(cfg)
+	recs, err := GenerateRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != direct.NumRefs() {
+		t.Fatalf("%d records for %d refs", len(recs), direct.NumRefs())
+	}
+	rebuilt, err := bib.DatasetFromRecords(cfg.Name, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumRefs() != direct.NumRefs() || rebuilt.NumPapers() != direct.NumPapers() {
+		t.Fatalf("rebuilt %d refs / %d papers, want %d / %d",
+			rebuilt.NumRefs(), rebuilt.NumPapers(), direct.NumRefs(), direct.NumPapers())
+	}
+	for i := range direct.Refs {
+		if rebuilt.Refs[i].Name != direct.Refs[i].Name ||
+			rebuilt.Refs[i].Paper != direct.Refs[i].Paper ||
+			rebuilt.Refs[i].True != direct.Refs[i].True {
+			t.Fatalf("ref %d: rebuilt %+v, want %+v", i, rebuilt.Refs[i], direct.Refs[i])
+		}
+	}
+	// The coauthor relation (all the matchers see of the relational
+	// structure) is identical.
+	dRel, rRel := direct.Coauthor(), rebuilt.Coauthor()
+	if dRel.Edges() != rRel.Edges() {
+		t.Fatalf("coauthor edges: rebuilt %d, want %d", rRel.Edges(), dRel.Edges())
+	}
+}
+
+func TestGenerateRecordsReportsConfigErrors(t *testing.T) {
+	bad := DBLPLike(0.2, 17)
+	bad.NumAuthors = 0
+	if _, err := GenerateRecords(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

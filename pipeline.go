@@ -1,0 +1,205 @@
+package cem
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bib"
+	"repro/internal/canopy"
+)
+
+// Pipeline is the end-to-end ingestion→blocking→matching→evaluation
+// path: raw records in, matches (and metrics, when gold labels are
+// supplied) out. It synthesizes a dataset from the records, runs q-gram
+// canopy blocking on a sharded worker pool (output identical to serial
+// for every shard count), constructs the total cover with the paper's
+// size/overlap bounds, executes the configured scheme with any
+// registered matcher through the Runner, and scores the result.
+//
+// Build with NewPipeline; a Pipeline is immutable after construction and
+// safe for concurrent Run calls.
+type Pipeline struct {
+	name       string
+	blocking   CanopyConfig
+	maxNbr     int
+	maxNbrSet  bool
+	shards     int
+	matcher    string
+	scheme     Scheme
+	runnerOpts []RunnerOption
+	expOpts    []Option
+}
+
+// PipelineOption customizes a Pipeline.
+type PipelineOption func(*Pipeline)
+
+// WithBlocking overrides the blocking configuration (canopy thresholds,
+// q-gram size, relational context bounds). Start from
+// DefaultOptions().Canopy. The configuration is validated by
+// NewPipeline.
+func WithBlocking(c CanopyConfig) PipelineOption {
+	return func(p *Pipeline) { p.blocking = c }
+}
+
+// WithShards runs the blocking stage on n worker shards. The constructed
+// cover is byte-identical for every shard count; shards only buy wall
+// clock. n = 0 (the default) means one shard per CPU; negative counts
+// are rejected by NewPipeline. Blocking keeps O(shards·records) working
+// memory (a per-worker dedupe array), so bound n explicitly on very
+// large corpora.
+func WithShards(n int) PipelineOption {
+	return func(p *Pipeline) { p.shards = n }
+}
+
+// WithMaxNeighborhood bounds every canopy core to at most k records (the
+// seed plus its k-1 most similar neighbors): the paper's "sizes of
+// neighborhoods are bounded" regime, which trades per-neighborhood
+// matcher cost for message traffic. k = 0 removes the bound. The bound
+// composes with WithBlocking in either order.
+func WithMaxNeighborhood(k int) PipelineOption {
+	return func(p *Pipeline) { p.maxNbr, p.maxNbrSet = k, true }
+}
+
+// WithMatcher selects the registered matcher the pipeline runs
+// ("mln", "rules", or any name passed to RegisterMatcher). Default: mln.
+func WithMatcher(name string) PipelineOption {
+	return func(p *Pipeline) { p.matcher = name }
+}
+
+// WithScheme selects the execution scheme. Default: SMP.
+func WithScheme(s Scheme) PipelineOption {
+	return func(p *Pipeline) { p.scheme = s }
+}
+
+// WithRunnerOptions forwards options to the underlying Runner
+// (parallelism, progress, stats, transitive closure, order, negative
+// evidence).
+func WithRunnerOptions(opts ...RunnerOption) PipelineOption {
+	return func(p *Pipeline) { p.runnerOpts = append(p.runnerOpts, opts...) }
+}
+
+// WithExperimentOptions forwards options to experiment construction
+// (matcher weights, rule programs). The blocking configuration is
+// governed by WithBlocking, not WithCanopy.
+func WithExperimentOptions(opts ...Option) PipelineOption {
+	return func(p *Pipeline) { p.expOpts = append(p.expOpts, opts...) }
+}
+
+// WithDatasetName names the synthesized dataset (for reports and logs).
+func WithDatasetName(name string) PipelineOption {
+	return func(p *Pipeline) { p.name = name }
+}
+
+// NewPipeline builds a Pipeline, validating the configuration: the
+// blocking thresholds must be well-formed and the shard count
+// non-negative. The matcher name is resolved at Run time against the
+// registry.
+func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
+	p := &Pipeline{
+		name:     "records",
+		blocking: DefaultOptions().Canopy,
+		matcher:  MatcherMLN,
+		scheme:   SchemeSMP,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.maxNbrSet {
+		p.blocking.MaxNeighborhood = p.maxNbr
+	}
+	if err := p.blocking.Validate(); err != nil {
+		return nil, fmt.Errorf("cem: pipeline blocking config: %w", err)
+	}
+	if p.shards < 0 {
+		return nil, fmt.Errorf("cem: pipeline shards = %d, want >= 0", p.shards)
+	}
+	if p.matcher == "" {
+		return nil, fmt.Errorf("cem: pipeline matcher name is empty")
+	}
+	switch p.scheme {
+	case SchemeNoMP, SchemeSMP, SchemeMMP, SchemeFull, SchemeUB:
+	default:
+		return nil, fmt.Errorf("cem: pipeline scheme %q unknown", p.scheme)
+	}
+	return p, nil
+}
+
+// PipelineResult is the outcome of one Pipeline run: the scheme result
+// plus the fully wired Experiment (for further runs and custom
+// evaluation), stage timings, and — when every record was labeled —
+// pairwise and B-cubed metrics.
+type PipelineResult struct {
+	*Result
+	// Experiment is the wired instance the run executed on; use it for
+	// further Runner builds, evaluation against references, or cover
+	// inspection (Experiment.Cover.ComputeStats()).
+	Experiment *Experiment
+	// Records is the number of ingested records.
+	Records int
+	// Labeled reports whether every record carried a gold label; the
+	// metric fields below are nil otherwise.
+	Labeled bool
+	// Report holds pairwise precision/recall/F1 against the gold labels.
+	Report *Report
+	// BCubed holds the per-entity cluster metric against the gold labels.
+	BCubed *PRF
+	// BlockingTime is the wall time of dataset synthesis + cover
+	// construction; MatchingTime is the wall time of the scheme run.
+	BlockingTime time.Duration
+	MatchingTime time.Duration
+}
+
+// Run executes the pipeline on the given records. The context cancels
+// both the blocking stage (between sharded scoring rounds) and the
+// matching stage (between neighborhood evaluations).
+func (p *Pipeline) Run(ctx context.Context, records []Record) (*PipelineResult, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("cem: pipeline: no records")
+	}
+	raw, labeled := toBibRecords(records)
+	start := time.Now()
+	d, err := bib.DatasetFromRecords(p.name, raw)
+	if err != nil {
+		return nil, fmt.Errorf("cem: pipeline: %w", err)
+	}
+	cover, err := canopy.BuildCoverContext(ctx, d, p.blocking, p.shards)
+	if err != nil {
+		return nil, err
+	}
+	blockingTime := time.Since(start)
+
+	opts := DefaultOptions()
+	for _, o := range p.expOpts {
+		o(&opts)
+	}
+	opts.Canopy = p.blocking // WithCanopy must not desync from the built cover
+	exp, err := setup(d, opts, cover)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := exp.Runner(p.matcher, p.runnerOpts...)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	res, err := runner.Run(ctx, p.scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := &PipelineResult{
+		Result:       res,
+		Experiment:   exp,
+		Records:      len(records),
+		Labeled:      labeled,
+		BlockingTime: blockingTime,
+		MatchingTime: time.Since(start),
+	}
+	if labeled {
+		report := exp.Evaluate(res)
+		bcubed := exp.EvaluateBCubed(res)
+		out.Report = &report
+		out.BCubed = &bcubed
+	}
+	return out, nil
+}

@@ -148,9 +148,22 @@ func (r *Runner) Run(ctx context.Context, s Scheme) (*Result, error) {
 	return &Result{Result: raw, Matcher: r.name, Closed: r.closure}, nil
 }
 
+// GridConfig configures the simulated grid executor (§6.3). Aliased so
+// external modules can build one without importing internal packages.
+type GridConfig = grid.Config
+
+// GridResult is the outcome of a simulated-grid run.
+type GridResult = grid.Result
+
 // RunGrid executes one scheme on the simulated grid (§6.3): parallel
 // rounds with real goroutine execution and a simulated G-machine clock.
+// The configuration is validated up front; an invalid one (e.g. zero
+// machines) is reported as an error rather than a panic deep in the
+// executor.
 func (r *Runner) RunGrid(ctx context.Context, s Scheme, gcfg grid.Config) (*grid.Result, error) {
+	if err := gcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cem: grid config: %w", err)
+	}
 	cfg := r.coreConfig()
 	var (
 		res *grid.Result

@@ -1,0 +1,93 @@
+package cem_test
+
+// Table-driven matrix over RunnerOption combinations: for a fixed
+// logical configuration (closure on/off × negative evidence on/off),
+// every execution knob — parallelism and scheduling order — must leave
+// the match set untouched (consistency, Theorems 2 and 4). Run under
+// -race in CI, this doubles as the data-race gauntlet for the parallel
+// executors.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	cem "repro"
+	"repro/match"
+)
+
+func TestRunnerOptionMatrix(t *testing.T) {
+	exp, err := cem.New(cem.NewDataset(cem.DBLP, 0.2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pair the baseline run matches, used as negative evidence.
+	base, err := exp.Run(cem.SchemeSMP, cem.MatcherRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Matches.Len() == 0 {
+		t.Fatal("baseline run found no matches; corpus too small for the matrix")
+	}
+	victim := base.Matches.Sorted()[0]
+
+	parallelisms := []int{1, runtime.NumCPU(), 7}
+	orders := []match.Order{match.OrderFIFO, match.OrderLIFO, match.OrderSmallestFirst, match.OrderLargestFirst}
+	closures := []bool{false, true}
+	negatives := []match.PairSet{nil, match.NewPairSet(victim)}
+
+	for _, matcher := range []string{cem.MatcherRules, cem.MatcherMLN} {
+		for _, scheme := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP} {
+			for ci, closure := range closures {
+				for ni, negative := range negatives {
+					group := fmt.Sprintf("%s/%s/closure=%v/negative=%v", matcher, scheme, closure, ni == 1)
+					t.Run(group, func(t *testing.T) {
+						var want *cem.Result
+						for _, par := range parallelisms {
+							for _, order := range orders {
+								opts := []cem.RunnerOption{
+									cem.WithParallelism(par),
+									cem.WithOrder(order),
+								}
+								if closure {
+									opts = append(opts, cem.WithTransitiveClosure())
+								}
+								if negative != nil {
+									opts = append(opts, cem.WithNegativeEvidence(negative))
+								}
+								runner, err := exp.Runner(matcher, opts...)
+								if err != nil {
+									t.Fatal(err)
+								}
+								res, err := runner.Run(context.Background(), scheme)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if want == nil {
+									want = res
+									continue
+								}
+								if !res.Matches.Equal(want.Matches) {
+									t.Errorf("parallelism=%d order=%v: %d matches, want %d — execution knobs changed the output",
+										par, order, res.Matches.Len(), want.Matches.Len())
+								}
+							}
+						}
+						// The logical knobs must do their job within the group.
+						// (Closure may legitimately re-derive a negated pair
+						// through a shared component, so the absence check
+						// applies to raw output only.)
+						if negative != nil && !closure && want.Matches.Has(victim) {
+							t.Error("negative evidence ignored: victim pair matched")
+						}
+						if closure && !exp.TransitiveClosure(want.Matches).Equal(want.Matches) {
+							t.Error("closure requested but result not transitively closed")
+						}
+						_ = ci
+					})
+				}
+			}
+		}
+	}
+}
