@@ -1,0 +1,52 @@
+# Developer entry points. CI runs the same targets.
+
+GO       ?= go
+PR       ?= 3
+BENCHOUT ?= BENCH_$(PR).json
+
+# Benchmarks recorded in the committed trajectory: the scheme executors
+# (the matching hot path this engine optimizes), the blocking stage, and
+# the matcher-level micro-benchmarks (grounding + warm Match).
+SCHEME_BENCH   = ^Benchmark(NoMP|SMP|MMP|UB|Full|Blocking|Pipeline|Setup|Grid)
+MATCHER_BENCH  = ^Benchmark(New|MatchWarm)$$
+BENCHTIME     ?= 5x
+
+.PHONY: build test race bench bench-json fuzz fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# bench prints the hot-path benchmark table.
+bench:
+	$(GO) test -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) .
+	$(GO) test -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/mln/
+
+# bench-json refreshes the "current" run in $(BENCHOUT), preserving any
+# other labels (e.g. the pre-engine baseline) already committed there. A
+# failing benchmark run fails the target — no partial trajectories.
+bench-json:
+	@$(GO) test -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) . > .bench.scheme.tmp \
+	 && $(GO) test -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/mln/ > .bench.mln.tmp \
+	 && cat .bench.scheme.tmp .bench.mln.tmp | $(GO) run ./cmd/benchjson -o $(BENCHOUT) -label current; \
+	 status=$$?; rm -f .bench.scheme.tmp .bench.mln.tmp; exit $$status
+
+# fuzz smoke-runs the dense-vs-naive scoring fuzz target (the one this
+# engine's correctness leans on; similarity/canopy/bib have further fuzz
+# targets runnable the same way).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDenseLogScore -fuzztime 10s ./internal/mln/
+
+clean:
+	$(GO) clean ./...

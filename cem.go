@@ -336,7 +336,7 @@ func (e *Experiment) EvaluateBCubed(res *Result) eval.PRF {
 func (e *Experiment) TransitiveClosure(matches match.PairSet) match.PairSet {
 	n := e.Dataset.NumRefs()
 	dsu := unionfind.New(n)
-	for p := range matches {
+	for p := range matches.All() {
 		dsu.Union(int(p.A), int(p.B))
 	}
 	members := map[int][]match.EntityID{}
@@ -349,7 +349,7 @@ func (e *Experiment) TransitiveClosure(matches match.PairSet) match.PairSet {
 		r := dsu.Find(int(id))
 		members[r] = append(members[r], id)
 	}
-	for p := range matches {
+	for p := range matches.All() {
 		add(p.A)
 		add(p.B)
 	}

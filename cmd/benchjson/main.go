@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` output into the committed
+// benchmark-trajectory format (BENCH_<pr>.json): a JSON object mapping
+// labels to benchmark result lists. It reads benchmark output on stdin
+// and merges the parsed results into the output file under -label,
+// preserving any other labels already present — so a "before" snapshot
+// survives refreshes of the "current" one.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_3.json -label current
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+
+	// Extra carries custom ReportMetric values (e.g. blocking-ns/op).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Run is one labeled benchmark run with the environment it was measured
+// on — metadata is per run, so merging a run from another machine never
+// relabels a previously committed baseline.
+type Run struct {
+	GOOS      string   `json:"goos,omitempty"`
+	GOARCH    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Generated string   `json:"generated,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// File is the on-disk shape of a BENCH_<pr>.json.
+type File struct {
+	Runs map[string]Run `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout, no merging)")
+	label := flag.String("label", "current", "label to store this run under")
+	flag.Parse()
+
+	results, cpu := parse(os.Stdin)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	f := &File{Runs: map[string]Run{}}
+	if *out != "" {
+		if raw, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(raw, f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: cannot merge into %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			if f.Runs == nil {
+				f.Runs = map[string]Run{}
+			}
+		}
+	}
+	f.Runs[*label] = Run{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPU:       cpu,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Results:   results,
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go test -bench output, tracking the current package from
+// "pkg:" headers.
+func parse(src *os.File) (results []Result, cpu string) {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1], Package: pkg}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BPerOp = val
+			case "allocs/op":
+				r.AllocsOp = val
+			default:
+				if strings.HasSuffix(unit, "/op") {
+					if r.Extra == nil {
+						r.Extra = map[string]float64{}
+					}
+					r.Extra[unit] = val
+				}
+			}
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, cpu
+}

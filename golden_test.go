@@ -67,6 +67,10 @@ func TestGoldenMatchSets(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			parallel, err := exp.Runner(matcher, cem.WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, scheme := range goldenMatrix[matcher] {
 				name := fmt.Sprintf("%s-%s-%s", ds.kind, matcher, scheme)
 				t.Run(name, func(t *testing.T) {
@@ -92,6 +96,20 @@ func TestGoldenMatchSets(t *testing.T) {
 					if got != string(want) {
 						t.Errorf("match set diverges from %s\ngot:  %s\nwant: %s\n(re-run with -update if the change is intended)",
 							path, firstDiff(got, string(want)), path)
+					}
+					// The parallel executors must land on the byte-identical
+					// fixture (consistency, Theorems 2 and 4). FULL and UB
+					// have no parallel path; skip the redundant re-run.
+					if scheme == cem.SchemeFull || scheme == cem.SchemeUB {
+						return
+					}
+					pres, err := parallel.Run(context.Background(), scheme)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pgot := renderMatches(pres); pgot != string(want) {
+						t.Errorf("parallel(4) match set diverges from %s: %s",
+							path, firstDiff(pgot, string(want)))
 					}
 				})
 			}

@@ -24,6 +24,43 @@ type Matcher interface {
 	Candidates(entities []EntityID) []Pair
 }
 
+// ScopePreparer is an optional matcher extension the schedulers invoke
+// once per run, before the first evaluation. The cover and the ground
+// model are immutable for the whole run — only evidence grows — so a
+// matcher can precompute each neighborhood's scoped candidate set, local
+// interaction structure and out-of-scope boundary once, turning every
+// subsequent Match/Candidates call on a cover neighborhood into an array
+// walk over a prebuilt skeleton instead of per-call map building.
+//
+// PrepareCover must be idempotent and safe to call concurrently with
+// Match/Candidates (schedulers may share a matcher across runs); calls
+// with covers the matcher has not seen replace the previous preparation.
+// Matchers must keep answering correctly for entity slices outside the
+// prepared cover.
+//
+// Implementing ScopePreparer additionally asserts the candidate-closure
+// property: Match(E, pos, neg) ⊆ Candidates(E) ∪ (pos restricted to E).
+// The schedulers rely on it to discharge re-activated neighborhoods with
+// no undecided candidate without a matcher call (RunStats.Skips), which
+// is only output-identical under this closure. Matchers that can derive
+// pairs outside their candidate enumeration (e.g. an interleaved
+// transitive closure) must not implement this interface.
+type ScopePreparer interface {
+	PrepareCover(c *Cover)
+}
+
+// prepareScopes announces the run's cover to a scope-preparing matcher
+// and reports whether the matcher opted into the candidate-closure
+// contract (and therefore into undecided-free re-activation skips).
+// Called once by every scheduler that evaluates cover neighborhoods.
+func prepareScopes(cfg *Config) bool {
+	sp, ok := cfg.Matcher.(ScopePreparer)
+	if ok {
+		sp.PrepareCover(cfg.Cover)
+	}
+	return ok
+}
+
 // Probabilistic is the Type-II abstraction (Definition 5): a matcher
 // backed by a probability distribution over match sets. Match must return
 // (one of) the most probable set(s), preferring the largest on ties, with

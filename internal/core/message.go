@@ -9,41 +9,57 @@ import (
 // are replaced by their union (sound by Proposition 3(ii)). The closure
 // is maintained incrementally with a union-find keyed by pair.
 type MessageStore struct {
-	idOf  map[Pair]int
-	pairs []Pair
-	dsu   *unionfind.DSU
+	idOf   map[PairKey]int
+	pairs  []Pair
+	dsu    *unionfind.DSU
+	cached [][]Pair // memoized Messages(); nil after a mutating Add
 }
 
 func NewMessageStore() *MessageStore {
-	return &MessageStore{idOf: map[Pair]int{}, dsu: unionfind.New(0)}
+	return &MessageStore{idOf: map[PairKey]int{}, dsu: unionfind.New(0)}
 }
 
 func (st *MessageStore) pairID(p Pair) int {
-	if id, ok := st.idOf[p]; ok {
+	if id, ok := st.idOf[p.Key()]; ok {
 		return id
 	}
 	id := len(st.pairs)
-	st.idOf[p] = id
+	st.idOf[p.Key()] = id
 	st.pairs = append(st.pairs, p)
 	st.dsu.Grow(id + 1)
 	return id
 }
 
 // Add inserts one maximal message (a set of correlated pairs) and merges
-// it with any overlapping messages already in the store.
+// it with any overlapping messages already in the store. The memoized
+// component view survives Adds that change nothing structurally — the
+// common case once the message set has converged.
 func (st *MessageStore) Add(msg []Pair) {
 	if len(msg) == 0 {
 		return
 	}
+	before := len(st.pairs)
 	first := st.pairID(msg[0])
+	changed := len(st.pairs) != before
 	for _, p := range msg[1:] {
-		st.dsu.Union(first, st.pairID(p))
+		if st.dsu.Union(first, st.pairID(p)) {
+			changed = true
+		}
+	}
+	if changed {
+		st.cached = nil
 	}
 }
 
 // Messages returns the current disjoint maximal messages, i.e. the
-// connected components of the store, in deterministic order.
+// connected components of the store, in deterministic order. The result
+// is memoized until the next Add — the promotion fixpoint rescans the
+// store many times between mutations — and must be treated as read-only
+// by callers.
 func (st *MessageStore) Messages() [][]Pair {
+	if st.cached != nil {
+		return st.cached
+	}
 	byRoot := map[int][]Pair{}
 	var rootOrder []int
 	for id, p := range st.pairs {
@@ -57,6 +73,7 @@ func (st *MessageStore) Messages() [][]Pair {
 	for _, r := range rootOrder {
 		out = append(out, byRoot[r])
 	}
+	st.cached = out
 	return out
 }
 
@@ -99,9 +116,9 @@ func ComputeMaximal(m Matcher, entities []EntityID, mPlus, neg, base PairSet) (m
 		calls++
 	}
 
-	index := make(map[Pair]int, len(probes))
+	index := make(map[PairKey]int, len(probes))
 	for i, p := range probes {
-		index[p] = i
+		index[p.Key()] = i
 	}
 	dsu := unionfind.New(len(probes))
 	for i, p := range probes {

@@ -29,6 +29,7 @@ func MMP(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	start := time.Now()
+	canSkip := prepareScopes(&cfg)
 	res := &Result{Scheme: "MMP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
@@ -45,11 +46,19 @@ func MMP(ctx context.Context, cfg Config) (*Result, error) {
 		if !ok {
 			break
 		}
+		entities := cfg.Cover.Sets[id]
+		activeSize := activeDecisions(cfg.Matcher, entities, mPlus)
+		if canSkip && visits[id] > 0 && activeSize == 0 {
+			// Re-activated but nothing left to decide: for a matcher with
+			// the candidate-closure property Match echoes M+ and
+			// COMPUTEMAXIMAL has no probes, so the evaluation is a provable
+			// no-op (see RunStats.Skips and ScopePreparer).
+			res.Stats.Skips++
+			continue
+		}
 		visits[id]++
 		res.Stats.Evaluations++
-		entities := cfg.Cover.Sets[id]
-		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes,
-			activeDecisions(cfg.Matcher, entities, mPlus))
+		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes, activeSize)
 
 		// Step 5: matches and maximal messages of this neighborhood.
 		t0 := time.Now()
@@ -126,11 +135,12 @@ func promoteMessagesImpl(prob Probabilistic, store *MessageStore, mPlus PairSet,
 	}
 
 	var promotedPairs []Pair
+	var missing []Pair // reused across messages; delta() only reads it
 	for {
 		again := false
 		for _, msg := range store.Messages() {
 			// Skip messages already subsumed by the match set.
-			missing := msg[:0:0]
+			missing = missing[:0]
 			for _, p := range msg {
 				if !mPlus.Has(p) {
 					missing = append(missing, p)

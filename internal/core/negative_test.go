@@ -58,7 +58,7 @@ func TestNegativeEvidenceMonotone(t *testing.T) {
 		}
 		// Negate a random subset of the full run's matches.
 		neg := core.NewPairSet()
-		for p := range full.Matches {
+		for p := range full.Matches.All() {
 			if rng.Intn(2) == 0 {
 				neg.Add(p)
 			}
@@ -78,7 +78,7 @@ func TestNegativeEvidenceMonotone(t *testing.T) {
 			if !pair.withNegM.Subset(pair.without) {
 				t.Fatalf("trial %d: %s grew under negative evidence", trial, pair.name)
 			}
-			for p := range neg {
+			for p := range neg.All() {
 				if pair.withNegM.Has(p) {
 					t.Fatalf("trial %d: %s output a negated pair", trial, pair.name)
 				}
@@ -88,7 +88,7 @@ func TestNegativeEvidenceMonotone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for p := range neg {
+		for p := range neg.All() {
 			if mmp.Matches.Has(p) {
 				t.Fatalf("trial %d: MMP output a negated pair", trial)
 			}

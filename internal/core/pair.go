@@ -10,7 +10,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"iter"
+	"slices"
 )
 
 // EntityID identifies an entity. Ids are dense in [0, n).
@@ -35,9 +36,29 @@ func (p Pair) Valid() bool { return p.A < p.B }
 
 func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
 
-// PairSet is a set of normalized pairs. The nil map is a valid empty set
-// for reading; use NewPairSet or Add (on a non-nil set) to build one.
-type PairSet map[Pair]struct{}
+// PairKey packs a normalized pair into one machine word: A in the high 32
+// bits, B in the low 32. Because ids are dense non-negative int32s and
+// pairs are normalized (A < B), the natural uint64 ordering of keys equals
+// the (A, then B) lexicographic pair ordering — sorting keys IS sorting
+// pairs, with no comparator.
+type PairKey uint64
+
+// Key packs the pair.
+func (p Pair) Key() PairKey {
+	return PairKey(uint64(uint32(p.A))<<32 | uint64(uint32(p.B)))
+}
+
+// Pair unpacks the key.
+func (k PairKey) Pair() Pair {
+	return Pair{A: EntityID(k >> 32), B: EntityID(uint32(k))}
+}
+
+// PairSet is a set of normalized pairs, represented on packed uint64 keys
+// so membership tests hash one word instead of a struct. The nil map is a
+// valid empty set for reading; use NewPairSet or Add (on a non-nil set)
+// to build one. Iterate pairs with All (or Sorted for deterministic
+// order); ranging over the map directly yields PairKeys.
+type PairSet map[PairKey]struct{}
 
 // NewPairSet returns an empty set, optionally seeded with pairs.
 func NewPairSet(pairs ...Pair) PairSet {
@@ -49,24 +70,45 @@ func NewPairSet(pairs ...Pair) PairSet {
 }
 
 // Add inserts p (normalizing is the caller's job via MakePair).
-func (s PairSet) Add(p Pair) { s[p] = struct{}{} }
+func (s PairSet) Add(p Pair) { s[p.Key()] = struct{}{} }
+
+// AddKey inserts an already-packed pair.
+func (s PairSet) AddKey(k PairKey) { s[k] = struct{}{} }
 
 // Has reports membership. Safe on a nil set.
 func (s PairSet) Has(p Pair) bool {
-	_, ok := s[p]
+	_, ok := s[p.Key()]
+	return ok
+}
+
+// HasKey reports membership of a packed pair. Safe on a nil set.
+func (s PairSet) HasKey(k PairKey) bool {
+	_, ok := s[k]
 	return ok
 }
 
 // Len returns the cardinality. Safe on a nil set.
 func (s PairSet) Len() int { return len(s) }
 
+// All iterates the pairs in unspecified order (map iteration); use Sorted
+// when determinism matters.
+func (s PairSet) All() iter.Seq[Pair] {
+	return func(yield func(Pair) bool) {
+		for k := range s {
+			if !yield(k.Pair()) {
+				return
+			}
+		}
+	}
+}
+
 // AddAll inserts every pair of t into s and returns the number of pairs
 // that were actually new.
 func (s PairSet) AddAll(t PairSet) int {
 	added := 0
-	for p := range t {
-		if !s.Has(p) {
-			s.Add(p)
+	for k := range t {
+		if _, ok := s[k]; !ok {
+			s[k] = struct{}{}
 			added++
 		}
 	}
@@ -76,8 +118,8 @@ func (s PairSet) AddAll(t PairSet) int {
 // Clone returns an independent copy.
 func (s PairSet) Clone() PairSet {
 	out := make(PairSet, len(s))
-	for p := range s {
-		out[p] = struct{}{}
+	for k := range s {
+		out[k] = struct{}{}
 	}
 	return out
 }
@@ -92,9 +134,9 @@ func (s PairSet) Union(t PairSet) PairSet {
 // Minus returns a new set s \ t.
 func (s PairSet) Minus(t PairSet) PairSet {
 	out := NewPairSet()
-	for p := range s {
-		if !t.Has(p) {
-			out.Add(p)
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			out[k] = struct{}{}
 		}
 	}
 	return out
@@ -106,9 +148,9 @@ func (s PairSet) Intersect(t PairSet) PairSet {
 		s, t = t, s
 	}
 	out := NewPairSet()
-	for p := range s {
-		if t.Has(p) {
-			out.Add(p)
+	for k := range s {
+		if _, ok := t[k]; ok {
+			out[k] = struct{}{}
 		}
 	}
 	return out
@@ -116,8 +158,8 @@ func (s PairSet) Intersect(t PairSet) PairSet {
 
 // Subset reports whether s ⊆ t.
 func (s PairSet) Subset(t PairSet) bool {
-	for p := range s {
-		if !t.Has(p) {
+	for k := range s {
+		if _, ok := t[k]; !ok {
 			return false
 		}
 	}
@@ -129,18 +171,24 @@ func (s PairSet) Equal(t PairSet) bool {
 	return s.Len() == t.Len() && s.Subset(t)
 }
 
+// SortedKeys returns the packed keys in ascending order — the stable
+// iteration the schedulers use for reproducible evidence propagation.
+func (s PairSet) SortedKeys() []PairKey {
+	out := make([]PairKey, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // Sorted returns the pairs in deterministic (A, then B) order.
 func (s PairSet) Sorted() []Pair {
-	out := make([]Pair, 0, len(s))
-	for p := range s {
-		out = append(out, p)
+	keys := s.SortedKeys()
+	out := make([]Pair, len(keys))
+	for i, k := range keys {
+		out[i] = k.Pair()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
 	return out
 }
 
@@ -149,4 +197,19 @@ func (s PairSet) WithPair(p Pair) PairSet {
 	out := s.Clone()
 	out.Add(p)
 	return out
+}
+
+// SortPairs orders a pair slice by packed key (A, then B) in place.
+func SortPairs(pairs []Pair) {
+	slices.SortFunc(pairs, func(a, b Pair) int {
+		ka, kb := a.Key(), b.Key()
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		default:
+			return 0
+		}
+	})
 }

@@ -14,7 +14,8 @@ type evalJob struct {
 	msgs    [][]Pair // maximal messages (MMP rounds only)
 	active  int      // active decisions at evaluation time
 	dur     time.Duration
-	calls   int // matcher calls (1 + conditioned probes for MMP)
+	calls   int  // matcher calls (1 + conditioned probes for MMP)
+	skipped bool // re-activation discharged without a matcher call
 }
 
 // allNeighborhoods returns the ids 0..n-1.
@@ -30,14 +31,20 @@ func allNeighborhoods(n int) []int32 {
 // evidence snapshot, in parallel when cfg.Parallelism > 1, and returns
 // the per-neighborhood jobs in input order. The evidence set is only
 // read. withMessages additionally runs COMPUTEMAXIMAL per neighborhood
-// (prob must then be non-nil). A canceled ctx aborts the round; started
-// evaluations finish, queued ones are skipped.
-func mapNeighborhoods(ctx context.Context, cfg Config, ids []int32, evidence PairSet, withMessages bool, prob Probabilistic) ([]evalJob, error) {
+// (prob must then be non-nil). allowSkip discharges neighborhoods with no
+// undecided in-scope pair without calling the matcher (re-activation
+// rounds only; see RunStats.Skips). A canceled ctx aborts the round;
+// started evaluations finish, queued ones are skipped.
+func mapNeighborhoods(ctx context.Context, cfg Config, ids []int32, evidence PairSet, withMessages, allowSkip bool, prob Probabilistic) ([]evalJob, error) {
 	jobs := make([]evalJob, len(ids))
 	eval := func(i int) {
 		id := ids[i]
 		entities := cfg.Cover.Sets[id]
 		active := activeDecisions(cfg.Matcher, entities, evidence)
+		if allowSkip && active == 0 {
+			jobs[i] = evalJob{id: id, skipped: true}
+			return
+		}
 		t0 := time.Now()
 		mc := cfg.Matcher.Match(entities, evidence, cfg.Negative)
 		calls := 1
@@ -121,13 +128,13 @@ func NewRoundReducer(matches PairSet, store *MessageStore, prob Probabilistic, s
 	return &RoundReducer{matches: matches, store: store, prob: prob, stats: stats}
 }
 
-// Add merges one job's matches and maximal messages.
+// Add merges one job's matches and maximal messages. The job's new pairs
+// are appended to New in packed-key order, so the round's evidence delta
+// is reproducible run-to-run (map iteration order never leaks out).
 func (r *RoundReducer) Add(mc PairSet, msgs [][]Pair) {
-	for p := range mc {
-		if !r.matches.Has(p) {
-			r.matches.Add(p)
-			r.New = append(r.New, p)
-		}
+	for _, p := range collectNew(mc, r.matches) {
+		r.matches.Add(p)
+		r.New = append(r.New, p)
 	}
 	if r.store != nil {
 		r.stats.MaximalMessages += len(msgs)
@@ -161,6 +168,7 @@ func runRounds(ctx context.Context, cfg Config, scheme string, withMessages bool
 		prob = cfg.Matcher.(Probabilistic) // checked by MMP before dispatch
 	}
 	start := time.Now()
+	canSkip := prepareScopes(&cfg)
 	res := &Result{Scheme: scheme, Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
@@ -172,7 +180,11 @@ func runRounds(ctx context.Context, cfg Config, scheme string, withMessages bool
 
 	active := allNeighborhoods(cfg.Cover.Len())
 	for round := 1; len(active) > 0; round++ {
-		jobs, err := mapNeighborhoods(ctx, cfg, active, res.Matches, withMessages, prob)
+		// Round 1 visits every neighborhood for the first time; later
+		// rounds are re-activations, where undecided-free scopes may be
+		// discharged without a matcher call (candidate-closure matchers
+		// only; see ScopePreparer).
+		jobs, err := mapNeighborhoods(ctx, cfg, active, res.Matches, withMessages, canSkip && round > 1, prob)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +192,10 @@ func runRounds(ctx context.Context, cfg Config, scheme string, withMessages bool
 		// Reduce: merge evidence, promote messages, emit progress.
 		red := NewRoundReducer(res.Matches, store, prob, &res.Stats)
 		for _, j := range jobs {
+			if j.skipped {
+				res.Stats.Skips++
+				continue
+			}
 			visits[j.id]++
 			res.Stats.Evaluations++
 			res.Stats.MatcherCalls += j.calls

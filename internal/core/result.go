@@ -16,16 +16,28 @@ type Result struct {
 // checked against these counters in tests, and the experiment harness
 // reports them.
 type RunStats struct {
-	Neighborhoods   int           // number of neighborhoods in the cover
-	MatcherCalls    int           // calls to Matcher.Match
-	Evaluations     int           // neighborhood evaluations by the scheduler
-	MaxRevisits     int           // max times any single neighborhood was evaluated
-	MessagesSent    int           // evidence deltas that re-activated neighborhoods
-	MaximalMessages int           // maximal messages generated (MMP only)
-	PromotedSets    int           // maximal messages promoted to matches (MMP only)
-	ScoreChecks     int           // LogScore comparisons (MMP only)
-	Elapsed         time.Duration // wall-clock time of the run
-	MatcherTime     time.Duration // time spent inside Matcher.Match
+	Neighborhoods   int // number of neighborhoods in the cover
+	MatcherCalls    int // calls to Matcher.Match
+	Evaluations     int // neighborhood evaluations by the scheduler
+	MaxRevisits     int // max times any single neighborhood was evaluated
+	MessagesSent    int // evidence deltas that re-activated neighborhoods
+	MaximalMessages int // maximal messages generated (MMP only)
+	PromotedSets    int // maximal messages promoted to matches (MMP only)
+	ScoreChecks     int // LogScore comparisons (MMP only)
+
+	// Skips counts re-activations that were discharged without calling the
+	// matcher because the neighborhood's scope contained no undecided pair
+	// (every in-scope candidate already in M+). Skipping applies only to
+	// matchers that implement ScopePreparer, whose contract includes the
+	// candidate-closure property Match ⊆ Candidates ∪ echoed evidence —
+	// under it such a re-evaluation cannot produce new matches, so the
+	// skip is output-identical and pure savings. First visits are never
+	// skipped, so Evaluations still counts every neighborhood at least
+	// once; skipped re-activations emit no progress event and append no
+	// ActiveSizes entry.
+	Skips       int
+	Elapsed     time.Duration // wall-clock time of the run
+	MatcherTime time.Duration // time spent inside Matcher.Match
 
 	// ActiveSizes records, for every neighborhood evaluation, the number
 	// of *active* matching decisions: in-scope candidate pairs not yet in
@@ -46,8 +58,8 @@ func (s *RunStats) TotalActive() int {
 }
 
 func (s RunStats) String() string {
-	return fmt.Sprintf("n=%d evals=%d calls=%d maxRevisit=%d msgs=%d maximal=%d promoted=%d elapsed=%v",
-		s.Neighborhoods, s.Evaluations, s.MatcherCalls, s.MaxRevisits,
+	return fmt.Sprintf("n=%d evals=%d calls=%d skips=%d maxRevisit=%d msgs=%d maximal=%d promoted=%d elapsed=%v",
+		s.Neighborhoods, s.Evaluations, s.MatcherCalls, s.Skips, s.MaxRevisits,
 		s.MessagesSent, s.MaximalMessages, s.PromotedSets, s.Elapsed)
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -71,10 +72,11 @@ func (cfg *Config) emit(scheme string, id int32, round int, res *Result) {
 // run. Cancellation of ctx aborts between neighborhood evaluations.
 func NoMP(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
+	prepareScopes(&cfg) // NO-MP never revisits, so no skips apply
 	res := &Result{Scheme: "NO-MP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
-	jobs, err := mapNeighborhoods(ctx, cfg, allNeighborhoods(cfg.Cover.Len()), nil, false, nil)
+	jobs, err := mapNeighborhoods(ctx, cfg, allNeighborhoods(cfg.Cover.Len()), nil, false, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +138,7 @@ func SMP(ctx context.Context, cfg Config) (*Result, error) {
 		return runRounds(ctx, cfg, "SMP", false)
 	}
 	start := time.Now()
+	canSkip := prepareScopes(&cfg)
 	res := &Result{Scheme: "SMP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
@@ -151,11 +154,18 @@ func SMP(ctx context.Context, cfg Config) (*Result, error) {
 		if !ok {
 			break
 		}
+		entities := cfg.Cover.Sets[id]
+		activeSize := activeDecisions(cfg.Matcher, entities, mPlus)
+		if canSkip && visits[id] > 0 && activeSize == 0 {
+			// Re-activated but nothing left to decide: for a matcher with
+			// the candidate-closure property the evaluation is a provable
+			// no-op (see RunStats.Skips and ScopePreparer).
+			res.Stats.Skips++
+			continue
+		}
 		visits[id]++
 		res.Stats.Evaluations++
-		entities := cfg.Cover.Sets[id]
-		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes,
-			activeDecisions(cfg.Matcher, entities, mPlus))
+		res.Stats.ActiveSizes = append(res.Stats.ActiveSizes, activeSize)
 
 		t0 := time.Now()
 		mc := cfg.Matcher.Match(entities, mPlus, cfg.Negative)
@@ -199,13 +209,21 @@ func activeDecisions(m Matcher, entities []EntityID, evidence PairSet) int {
 	return active
 }
 
-// collectNew returns the pairs of mc missing from mPlus.
+// collectNew returns the pairs of mc missing from mPlus, sorted by
+// packed key so evidence propagates in the same order run-to-run —
+// MessagesSent, ActiveSizes, progress events and the serial queue order
+// are reproducible instead of following map iteration.
 func collectNew(mc, mPlus PairSet) []Pair {
-	var out []Pair
-	for p := range mc {
-		if !mPlus.Has(p) {
-			out = append(out, p)
+	var keys []PairKey
+	for k := range mc {
+		if !mPlus.HasKey(k) {
+			keys = append(keys, k)
 		}
+	}
+	slices.Sort(keys)
+	out := make([]Pair, len(keys))
+	for i, k := range keys {
+		out[i] = k.Pair()
 	}
 	return out
 }

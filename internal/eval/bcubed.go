@@ -15,7 +15,7 @@ import (
 // cluster).
 func ClustersFromMatches(n int, matches core.PairSet) []int32 {
 	dsu := unionfind.New(n)
-	for p := range matches {
+	for p := range matches.All() {
 		dsu.Union(int(p.A), int(p.B))
 	}
 	ids := make([]int32, n)

@@ -25,8 +25,8 @@ type PRF struct {
 // empty truth scores recall 1.
 func PrecisionRecall(predicted, truth core.PairSet) PRF {
 	tp := 0
-	for p := range predicted {
-		if truth.Has(p) {
+	for k := range predicted {
+		if truth.HasKey(k) {
 			tp++
 		}
 	}

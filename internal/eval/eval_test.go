@@ -137,7 +137,7 @@ func TestSubsetAlwaysSound(t *testing.T) {
 		}
 		scheme := core.NewPairSet()
 		i := 0
-		for p := range ref {
+		for p := range ref.All() {
 			if i%2 == 0 {
 				scheme.Add(p)
 			}

@@ -199,6 +199,9 @@ func run(ctx context.Context, cfg core.Config, gcfg Config, scheme string, itera
 		return nil, err
 	}
 	start := time.Now()
+	if sp, ok := cfg.Matcher.(core.ScopePreparer); ok {
+		sp.PrepareCover(cfg.Cover)
+	}
 	rng := rand.New(rand.NewSource(gcfg.Seed))
 	res := &Result{Scheme: scheme, Matches: core.NewPairSet()}
 

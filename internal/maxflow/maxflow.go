@@ -23,15 +23,33 @@ type Graph struct {
 	cap_  []float64
 	level []int32
 	iter  []int32
+	stack []int32 // MinCutSource scratch
+	queue []int32 // bfs scratch
 }
 
 // New returns an empty flow network with n vertices.
 func New(n int) *Graph {
-	g := &Graph{n: n, head: make([]int32, n)}
+	g := &Graph{}
+	g.Reset(n)
+	return g
+}
+
+// Reset re-initializes the graph to n empty vertices, reusing every
+// previously grown buffer. It makes one Graph serve many solves — the
+// per-invocation pooling the MLN matcher's inference loop relies on — at
+// the cost of an O(n) head reset instead of fresh allocations.
+func (g *Graph) Reset(n int) {
+	g.n = n
+	if cap(g.head) < n {
+		g.head = make([]int32, n)
+	}
+	g.head = g.head[:n]
 	for i := range g.head {
 		g.head[i] = -1
 	}
-	return g
+	g.to = g.to[:0]
+	g.cap_ = g.cap_[:0]
+	g.next = g.next[:0]
 }
 
 // N returns the number of vertices.
@@ -73,12 +91,10 @@ func (g *Graph) bfs(s, t int) bool {
 	for i := range g.level {
 		g.level[i] = -1
 	}
-	queue := make([]int32, 0, g.n)
-	queue = append(queue, int32(s))
+	queue := append(g.queue[:0], int32(s))
 	g.level[s] = 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for at := 0; at < len(queue); at++ {
+		v := queue[at]
 		for a := g.head[v]; a != -1; a = g.next[a] {
 			if g.cap_[a] > eps && g.level[g.to[a]] < 0 {
 				g.level[g.to[a]] = g.level[v] + 1
@@ -86,6 +102,7 @@ func (g *Graph) bfs(s, t int) bool {
 			}
 		}
 	}
+	g.queue = queue
 	return g.level[t] >= 0
 }
 
@@ -110,15 +127,19 @@ func (g *Graph) dfs(v, t int, f float64) float64 {
 	return 0
 }
 
-// MaxFlow computes the maximum s→t flow. It may be called once per graph;
-// afterwards the capacities hold the residual network that MinCutSource
-// inspects.
+// MaxFlow computes the maximum s→t flow. It may be called once per graph
+// build (New or Reset); afterwards the capacities hold the residual
+// network that MinCutSource inspects.
 func (g *Graph) MaxFlow(s, t int) float64 {
 	if s == t {
 		return 0
 	}
-	g.level = make([]int32, g.n)
-	g.iter = make([]int32, g.n)
+	if cap(g.level) < g.n {
+		g.level = make([]int32, g.n)
+		g.iter = make([]int32, g.n)
+	}
+	g.level = g.level[:g.n]
+	g.iter = g.iter[:g.n]
 	var flow float64
 	for g.bfs(s, t) {
 		copy(g.iter, g.head)
@@ -136,8 +157,18 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 // MinCutSource returns, after MaxFlow has run, the set of vertices on the
 // source side of the minimum cut as a boolean slice indexed by vertex.
 func (g *Graph) MinCutSource(s int) []bool {
-	seen := make([]bool, g.n)
-	stack := []int32{int32(s)}
+	return g.MinCutSourceInto(s, make([]bool, g.n))
+}
+
+// MinCutSourceInto is MinCutSource writing into a caller-provided buffer
+// (len ≥ n, reused across solves); the buffer's first n entries are
+// overwritten and returned.
+func (g *Graph) MinCutSourceInto(s int, seen []bool) []bool {
+	seen = seen[:g.n]
+	for i := range seen {
+		seen[i] = false
+	}
+	stack := append(g.stack[:0], int32(s))
 	seen[s] = true
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -149,5 +180,6 @@ func (g *Graph) MinCutSource(s int) []bool {
 			}
 		}
 	}
+	g.stack = stack
 	return seen
 }

@@ -1,0 +1,68 @@
+package mln
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Allocation regression bounds for the matching hot path. SMP/MMP
+// multiply the per-invocation cost by Evaluations × rounds, so a future
+// change that silently re-introduces per-call map building or solver
+// allocations shows up here long before it shows up on a profile.
+
+// TestMatchAllocs bounds the allocations of one warm Match call on a
+// prepared cover neighborhood. The remaining allocations are the result
+// set itself (which escapes to the caller) plus pool variance; the
+// pre-engine cost was ~100 allocations per call on this fixture.
+func TestMatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	env, cands := benchGround(t)
+	m, err := New(env.d, cands, PaperWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PrepareCover(env.cover)
+	entities := env.cover.Sets[largestNeighborhood(env.cover)]
+	pos := core.NewPairSet()
+	m.Match(entities, pos, nil) // warm the pools
+	avg := testing.AllocsPerRun(50, func() {
+		m.Match(entities, pos, nil)
+	})
+	const maxAllocs = 40
+	if avg > maxAllocs {
+		t.Errorf("warm Match allocates %.1f times per call, want <= %d", avg, maxAllocs)
+	}
+}
+
+// TestMaximalMessagesAllocs bounds one warm COMPUTEMAXIMAL run — the
+// inner loop of every MMP evaluation (the pre-engine cost was in the
+// hundreds on this fixture).
+func TestMaximalMessagesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	env, cands := benchGround(t)
+	m, err := New(env.d, cands, PaperWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PrepareCover(env.cover)
+	entities := env.cover.Sets[largestNeighborhood(env.cover)]
+	mPlus := core.NewPairSet()
+	base := m.Match(entities, mPlus, nil)
+	msgs, _ := m.MaximalMessages(entities, mPlus, nil, base)
+	avg := testing.AllocsPerRun(20, func() {
+		m.MaximalMessages(entities, mPlus, nil, base)
+	})
+	// Every returned message is one necessarily-escaping allocation; the
+	// bound allows those plus a fixed overhead for the msgs spine and pool
+	// variance.
+	maxAllocs := float64(len(msgs) + 40)
+	if avg > maxAllocs {
+		t.Errorf("warm MaximalMessages allocates %.1f times per call for %d messages, want <= %.0f",
+			avg, len(msgs), maxAllocs)
+	}
+}

@@ -1,0 +1,72 @@
+package mln
+
+import (
+	"testing"
+
+	"repro/internal/bib"
+	"repro/internal/canopy"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+type benchEnv struct {
+	d     *bib.Dataset
+	cover *core.Cover
+}
+
+// benchGround builds the HEPTH-like 0.25 corpus the scheme benchmarks
+// use and returns its grounding inputs.
+func benchGround(b testing.TB) (env benchEnv, cands []Candidate) {
+	b.Helper()
+	ds := datagen.MustGenerate(datagen.HEPTHLike(0.25, 42))
+	cover := canopy.BuildCover(ds, canopy.DefaultConfig())
+	sp := canopy.CandidatePairs(ds, cover)
+	cands = make([]Candidate, len(sp))
+	for i, s := range sp {
+		cands[i] = Candidate{Pair: s.Pair, Level: s.Level}
+	}
+	return benchEnv{ds, cover}, cands
+}
+
+// BenchmarkNew measures grounding the MLN — the O(deg²) coauthor loop
+// dominates; the scratch-slice merge keeps it allocation-light.
+func BenchmarkNew(b *testing.B) {
+	env, cands := benchGround(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(env.d, cands, PaperWeights()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchWarm measures one Match call on a fixed warm neighborhood
+// after PrepareCover: the per-call cost SMP/MMP multiply by
+// Evaluations × rounds.
+func BenchmarkMatchWarm(b *testing.B) {
+	env, cands := benchGround(b)
+	m, err := New(env.d, cands, PaperWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.PrepareCover(env.cover)
+	id := largestNeighborhood(env.cover)
+	entities := env.cover.Sets[id]
+	pos := core.NewPairSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(entities, pos, nil)
+	}
+}
+
+func largestNeighborhood(c *core.Cover) int {
+	best := 0
+	for i, s := range c.Sets {
+		if len(s) > len(c.Sets[best]) {
+			best = i
+		}
+	}
+	return best
+}

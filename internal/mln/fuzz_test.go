@@ -1,0 +1,104 @@
+package mln
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/canopy"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// fuzzModel grounds one small corpus shared by all fuzz iterations.
+var fuzzModel = sync.OnceValue(func() *Matcher {
+	d := datagen.MustGenerate(datagen.DBLPLike(0.1, 7))
+	cover := canopy.BuildCover(d, canopy.DefaultConfig())
+	sp := canopy.CandidatePairs(d, cover)
+	cands := make([]Candidate, len(sp))
+	for i, s := range sp {
+		cands[i] = Candidate{Pair: s.Pair, Level: s.Level}
+	}
+	m, err := New(d, cands, PaperWeights())
+	if err != nil {
+		panic(err)
+	}
+	return m
+})
+
+// pickPairs decodes a byte stream into a deterministic pair selection.
+func pickPairs(m *Matcher, data []byte) []core.Pair {
+	all := m.Pairs()
+	if len(all) == 0 {
+		return nil
+	}
+	var out []core.Pair
+	for i := 0; i+1 < len(data); i += 2 {
+		id := (int(data[i])<<8 | int(data[i+1])) % len(all)
+		out = append(out, all[id])
+	}
+	return out
+}
+
+// TestScoreSetDeltaSkipsPairsAlreadyInS pins the DeltaScorer contract
+// edge the fuzz target cannot reach: a pair already in s contributes 0
+// even when it is outside the model's variable universe (s ∪ add = s, so
+// the delta of the remaining pairs is all that counts — never the
+// non-candidate sentinel).
+func TestScoreSetDeltaSkipsPairsAlreadyInS(t *testing.T) {
+	m := fuzzModel()
+	alien := core.MakePair(1<<30-2, 1<<30-1)
+	known := m.Pairs()[0]
+	s := core.NewPairSet(alien, known)
+	if d := m.ScoreSetDelta([]core.Pair{alien, known}, s); d != 0 {
+		t.Errorf("ScoreSetDelta over pairs already in s = %v, want 0", d)
+	}
+	other := m.Pairs()[1]
+	got := m.ScoreSetDelta([]core.Pair{alien, other}, s)
+	want := m.ScoreSetDelta([]core.Pair{other}, s)
+	if got != want {
+		t.Errorf("in-s alien changed the delta: %v != %v", got, want)
+	}
+}
+
+// FuzzDenseLogScore drives the dense-evidence LogScore against the
+// retained naive PairSet implementation: the two must agree (up to
+// float64 summation-order noise) on every match set, including sets
+// containing non-candidate pairs, and ScoreSetDelta must equal the
+// difference of two full evaluations.
+func FuzzDenseLogScore(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 3}, []byte{0, 4}, false)
+	f.Add([]byte{1, 200, 3, 77}, []byte{0, 1, 2, 2}, true)
+	f.Add([]byte{}, []byte{9, 9}, false)
+	f.Fuzz(func(t *testing.T, setBytes, addBytes []byte, withAlien bool) {
+		m := fuzzModel()
+		s := core.NewPairSet()
+		for _, p := range pickPairs(m, setBytes) {
+			s.Add(p)
+		}
+		if withAlien {
+			// A pair outside the model's variable universe collapses the
+			// probability to the sentinel in both implementations.
+			s.Add(core.MakePair(1<<30-2, 1<<30-1))
+		}
+		dense, naive := m.LogScore(s), m.logScoreNaive(s)
+		if math.Abs(dense-naive) > 1e-6 {
+			t.Fatalf("LogScore dense = %v, naive = %v (|S| = %d)", dense, naive, s.Len())
+		}
+
+		add := pickPairs(m, addBytes)
+		if withAlien || len(add) == 0 {
+			return
+		}
+		got := m.ScoreSetDelta(add, s)
+		union := s.Clone()
+		for _, p := range add {
+			union.Add(p)
+		}
+		want := m.logScoreNaive(union) - m.logScoreNaive(s)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("ScoreSetDelta = %v, want %v (|S| = %d, |add| = %d)",
+				got, want, s.Len(), len(add))
+		}
+	})
+}

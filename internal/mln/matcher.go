@@ -2,7 +2,9 @@ package mln
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bib"
 	"repro/internal/core"
@@ -73,14 +75,14 @@ type interEdge struct {
 }
 
 // Matcher is the ground MLN over one dataset's candidate pairs. It
-// implements core.Matcher, core.Probabilistic, and
-// core.ConditionalDecider. The model (pairs, weights, interactions) is
-// immutable after construction; Match uses only per-call state and the
-// matcher is safe for concurrent use.
+// implements core.Matcher, core.Probabilistic, core.ConditionalDecider
+// and core.ScopePreparer. The model (pairs, weights, interactions) is
+// immutable after construction; Match uses only pooled per-call state
+// and the matcher is safe for concurrent use.
 type Matcher struct {
 	w        Weights
 	pairs    []core.Pair
-	idOf     map[core.Pair]int32
+	idOf     map[core.PairKey]int32
 	level    []similarity.Level
 	reflex   []int32 // reflexive coauthor groundings per pair (both roles)
 	selfCite []int8  // 1 when the pair's papers cite each other (extension)
@@ -88,6 +90,12 @@ type Matcher struct {
 	adj      [][]interEdge
 	pairsOf  [][]int32 // entity -> ids of candidate pairs touching it
 	n        int       // number of entities
+
+	// scopes caches per-neighborhood skeletons for the prepared cover
+	// (core.ScopePreparer); wsPool recycles per-call workspaces with
+	// dense evidence views. See scope.go.
+	scopes atomic.Pointer[coverScopes]
+	wsPool sync.Pool
 }
 
 // Candidate is one match variable: a reference pair with its discretized
@@ -111,7 +119,7 @@ func New(d *bib.Dataset, cands []Candidate, w Weights) (*Matcher, error) {
 	m := &Matcher{
 		w:        w,
 		pairs:    make([]core.Pair, len(cands)),
-		idOf:     make(map[core.Pair]int32, len(cands)),
+		idOf:     make(map[core.PairKey]int32, len(cands)),
 		level:    make([]similarity.Level, len(cands)),
 		reflex:   make([]int32, len(cands)),
 		selfCite: make([]int8, len(cands)),
@@ -124,21 +132,27 @@ func New(d *bib.Dataset, cands []Candidate, w Weights) (*Matcher, error) {
 		if !c.Pair.Valid() {
 			return nil, fmt.Errorf("mln: invalid candidate pair %v", c.Pair)
 		}
-		if _, dup := m.idOf[c.Pair]; dup {
+		if _, dup := m.idOf[c.Pair.Key()]; dup {
 			return nil, fmt.Errorf("mln: duplicate candidate pair %v", c.Pair)
 		}
 		m.pairs[i] = c.Pair
-		m.idOf[c.Pair] = int32(i)
+		m.idOf[c.Pair.Key()] = int32(i)
 		m.level[i] = c.Level
 		m.pairsOf[c.Pair.A] = append(m.pairsOf[c.Pair.A], int32(i))
 		m.pairsOf[c.Pair.B] = append(m.pairsOf[c.Pair.B], int32(i))
 	}
 	co := d.Coauthor()
 	cites := citesIndex(d)
-	counts := map[int32]int32{}
+	// The O(deg²) coauthor loop collects interaction partners into a
+	// reusable scratch slice and merges duplicates by a sort + run-length
+	// pass — no per-pair map allocation, clearing, or rehashing. Each
+	// (c1, c2) combination fires the rule twice (two role assignments), so
+	// a run of length r becomes count 2r; sorting keeps adj ascending by
+	// partner id, identical to the old map+sort construction.
+	var scratch []int32
 	for i := range m.pairs {
 		p := m.pairs[i]
-		clear(counts)
+		scratch = scratch[:0]
 		reflex := 0
 		for _, c1 := range co.Neighbors(p.A) {
 			for _, c2 := range co.Neighbors(p.B) {
@@ -146,9 +160,8 @@ func New(d *bib.Dataset, cands []Candidate, w Weights) (*Matcher, error) {
 					reflex++
 					continue
 				}
-				q := core.MakePair(c1, c2)
-				if j, ok := m.idOf[q]; ok && int(j) != i {
-					counts[j] += 2 // two role assignments per combination
+				if j, ok := m.idOf[core.MakePair(c1, c2).Key()]; ok && int(j) != i {
+					scratch = append(scratch, j)
 				}
 			}
 		}
@@ -158,16 +171,22 @@ func New(d *bib.Dataset, cands []Candidate, w Weights) (*Matcher, error) {
 		if cites[[2]int32{pa, pb}] || cites[[2]int32{pb, pa}] {
 			m.selfCite[i] = 1
 		}
-		if len(counts) > 0 {
-			edges := make([]interEdge, 0, len(counts))
-			for j, c := range counts {
-				edges = append(edges, interEdge{other: j, count: c})
+		if len(scratch) > 0 {
+			slices.Sort(scratch)
+			edges := make([]interEdge, 0, len(scratch))
+			for k := 0; k < len(scratch); {
+				run := k + 1
+				for run < len(scratch) && scratch[run] == scratch[k] {
+					run++
+				}
+				edges = append(edges, interEdge{other: scratch[k], count: int32(2 * (run - k))})
+				k = run
 			}
-			sort.Slice(edges, func(a, b int) bool { return edges[a].other < edges[b].other })
 			m.adj[i] = edges
 		}
 	}
 	m.applyWeights()
+	m.wsPool.New = func() any { return newWorkspace(len(m.pairs), m.n) }
 	return m, nil
 }
 
@@ -216,14 +235,19 @@ func (m *Matcher) Pairs() []core.Pair { return m.pairs }
 
 // Level returns the similarity level of a candidate pair, or LevelNone.
 func (m *Matcher) Level(p core.Pair) similarity.Level {
-	if id, ok := m.idOf[p]; ok {
+	if id, ok := m.idOf[p.Key()]; ok {
 		return m.level[id]
 	}
 	return similarity.LevelNone
 }
 
-// Candidates implements core.Matcher.
+// Candidates implements core.Matcher. For neighborhoods of a prepared
+// cover (core.ScopePreparer) the answer is the skeleton's cached slice —
+// callers must treat it as read-only.
 func (m *Matcher) Candidates(entities []core.EntityID) []core.Pair {
+	if sc := m.scopeFor(entities); sc != nil {
+		return sc.pairs
+	}
 	ids := m.scopedIDs(entities)
 	out := make([]core.Pair, len(ids))
 	for i, id := range ids {
@@ -248,7 +272,7 @@ func (m *Matcher) scopedIDs(entities []core.EntityID) []int32 {
 			}
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -258,12 +282,18 @@ func (m *Matcher) scopedIDs(entities []core.EntityID) []int32 {
 // matched coauthor pair contributes its groundings as a unary bonus),
 // neg pairs are conditioned false.
 func (m *Matcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.PairSet {
-	lm := m.buildLocal(entities, pos, neg)
+	ws := m.getWS()
+	defer m.putWS(ws)
+	lm := m.buildLocal(m.scopeOf(entities, ws), pos, neg, ws)
 	out := lm.out
 	if len(lm.free) == 0 {
 		return out
 	}
-	x := lm.solve(-1)
+	if cap(ws.x) < len(lm.free) {
+		ws.x = make([]bool, len(lm.free))
+	}
+	x := ws.x[:len(lm.free)]
+	solveMAPInto(lm.eff, lm.edges, x)
 	for fi, id := range lm.free {
 		if x[fi] {
 			out.Add(m.pairs[id])

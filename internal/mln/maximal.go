@@ -5,173 +5,201 @@ import (
 	"repro/internal/unionfind"
 )
 
-// localModel is the conditioned submodel of one neighborhood: the free
-// match variables with their effective unary weights (base weight plus
-// evidence-supported groundings) and the in-scope pairwise interactions.
-type localModel struct {
-	free  []int32 // candidate pair ids
-	eff   []float64
-	edges []Edge // indices refer to positions in free
-	deg   []int  // local interaction degree per free var
-	out   core.PairSet
-}
-
-// buildLocal assembles the conditioned submodel; out is pre-seeded with
-// the in-scope positive evidence (echoed in every Match output).
-func (m *Matcher) buildLocal(entities []core.EntityID, pos, neg core.PairSet) *localModel {
-	ids := m.scopedIDs(entities)
-	lm := &localModel{out: core.NewPairSet()}
-	slot := make(map[int32]int, len(ids))
-	for _, id := range ids {
-		p := m.pairs[id]
-		switch {
-		case neg.Has(p):
-		case pos.Has(p):
-			lm.out.Add(p)
-		default:
-			slot[id] = len(lm.free)
-			lm.free = append(lm.free, id)
-		}
-	}
-	lm.eff = make([]float64, len(lm.free))
-	lm.deg = make([]int, len(lm.free))
-	for fi, id := range lm.free {
-		lm.eff[fi] = m.unary[id] + m.w.TieEps
-		for _, e := range m.adj[id] {
-			w := m.w.Coauthor * float64(e.count)
-			if oj, ok := slot[e.other]; ok {
-				if e.other > id {
-					lm.edges = append(lm.edges, Edge{I: fi, J: oj, W: w})
-					lm.deg[fi]++
-					lm.deg[oj]++
-				}
-			} else if pos.Has(m.pairs[e.other]) {
-				lm.eff[fi] += w
-			}
-		}
-	}
-	return lm
-}
-
-// solve runs exact MAP on the local model with an optional clamped-true
-// variable (clamp < 0 for none) and returns the assignment.
-func (lm *localModel) solve(clamp int) []bool {
-	if clamp < 0 {
-		return SolveMAP(lm.eff, lm.edges)
-	}
-	unary := make([]float64, len(lm.eff))
-	copy(unary, lm.eff)
-	unary[clamp] = clampWeight
-	return SolveMAP(unary, lm.edges)
-}
-
 // clampWeight forces a variable true in conditioned probes; it dwarfs any
 // achievable score in a ground model.
 const clampWeight = 1e9
 
+// maximalScratch is the flat working memory of one MaximalMessages call,
+// pooled inside the workspace. Components are materialized by counting
+// sort over union-find roots instead of per-root maps, so a call
+// allocates only the message slices it actually returns.
+type maximalScratch struct {
+	rootOf   []int32 // free var -> component root (-1 for isolated vars)
+	varCnt   []int32 // per root: member count, then consumed as fill cursor
+	varOff   []int32 // per root: start offset into varsBuf
+	edgeCnt  []int32
+	edgeOff  []int32
+	varsBuf  []int32 // members of all components, grouped by root
+	edgesBuf []Edge  // edges of all components, grouped by root
+	localIdx []int32 // free var -> component-local index
+	localMax []float64
+	subEff   []float64
+	subUnary []float64
+	probes   []int32
+	probeOut []bool  // len(probes) × component-size probe outputs, flat
+	grpCnt   []int32 // per probe root: entailment-group size
+	msgIdx   []int32 // per probe root: output message index (-1 until seen)
+	dsuComp  *unionfind.DSU
+	dsuProbe *unionfind.DSU
+}
+
+// grow returns s resized to n (contents unspecified).
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // MaximalMessages implements core.MaximalMessenger — a specialized
 // Algorithm 2 for the ground MLN. It builds the conditioned submodel
-// once, decomposes it into connected components of the local interaction
-// graph (clamping a variable can only entail variables in its own
-// component, so each probe solves just its component), probes only free
-// pairs that can reach a non-negative score under total local support,
-// and derives the mutual-entailment groups from the probe solutions.
+// once (from the prepared neighborhood skeleton when available),
+// decomposes it into connected components of the local interaction graph
+// (clamping a variable can only entail variables in its own component,
+// so each probe solves just its component), probes only free pairs that
+// can reach a non-negative score under total local support, and derives
+// the mutual-entailment groups from the probe solutions. Probe solves
+// draw their flow networks from the shared solver pool and all component
+// bookkeeping from the pooled workspace.
 func (m *Matcher) MaximalMessages(entities []core.EntityID, mPlus, neg, base core.PairSet) (msgs [][]core.Pair, calls int) {
-	lm := m.buildLocal(entities, mPlus, neg)
+	ws := m.getWS()
+	defer m.putWS(ws)
+	lm := m.buildLocal(m.scopeOf(entities, ws), mPlus, neg, ws)
 	n := len(lm.free)
 	if n == 0 {
 		return nil, 0
 	}
+	mm := &ws.mm
 
-	// Connected components of the local interaction graph.
-	comp := unionfind.New(n)
+	// Connected components of the local interaction graph. Isolated
+	// variables (degree 0) yield only singleton messages and are dropped.
+	comp := mm.dsuComp
+	comp.Reset(n)
 	for _, e := range lm.edges {
 		comp.Union(e.I, e.J)
 	}
-	members := map[int][]int{}
-	var roots []int
+	mm.rootOf = grow(mm.rootOf, n)
+	mm.varCnt = grow(mm.varCnt, n)
+	mm.edgeCnt = grow(mm.edgeCnt, n)
+	for r := 0; r < n; r++ {
+		mm.varCnt[r], mm.edgeCnt[r] = 0, 0
+	}
+	hasComp := false
 	for fi := 0; fi < n; fi++ {
 		if lm.deg[fi] == 0 {
-			continue // isolated variables yield only singleton messages
+			mm.rootOf[fi] = -1
+			continue
 		}
-		r := comp.Find(fi)
-		if _, ok := members[r]; !ok {
-			roots = append(roots, r)
+		r := int32(comp.Find(fi))
+		mm.rootOf[fi] = r
+		mm.varCnt[r]++
+		hasComp = true
+	}
+	if !hasComp {
+		return nil, 0
+	}
+	for _, e := range lm.edges {
+		mm.edgeCnt[mm.rootOf[e.I]]++
+	}
+
+	// Counting sort: group members and edges by root, preserving the
+	// ascending-variable and edge-list orders of the map-based original.
+	mm.varOff = grow(mm.varOff, n)
+	mm.edgeOff = grow(mm.edgeOff, n)
+	sumV, sumE := int32(0), int32(0)
+	for r := 0; r < n; r++ {
+		mm.varOff[r], mm.edgeOff[r] = sumV, sumE
+		sumV += mm.varCnt[r]
+		sumE += mm.edgeCnt[r]
+		mm.varCnt[r], mm.edgeCnt[r] = 0, 0 // reused as fill cursors
+	}
+	mm.varsBuf = grow(mm.varsBuf, int(sumV))
+	mm.edgesBuf = grow(mm.edgesBuf, int(sumE))
+	for fi := 0; fi < n; fi++ {
+		if r := mm.rootOf[fi]; r >= 0 {
+			mm.varsBuf[mm.varOff[r]+mm.varCnt[r]] = int32(fi)
+			mm.varCnt[r]++
 		}
-		members[r] = append(members[r], fi)
+	}
+	for _, e := range lm.edges {
+		r := mm.rootOf[e.I]
+		mm.edgesBuf[mm.edgeOff[r]+mm.edgeCnt[r]] = e
+		mm.edgeCnt[r]++
 	}
 
 	// Local support available to each variable.
-	localMax := make([]float64, n)
-	copy(localMax, lm.eff)
+	mm.localMax = grow(mm.localMax, n)
+	copy(mm.localMax, lm.eff)
 	for _, e := range lm.edges {
-		localMax[e.I] += e.W
-		localMax[e.J] += e.W
-	}
-	edgesOf := map[int][]Edge{}
-	for _, e := range lm.edges {
-		r := comp.Find(e.I)
-		edgesOf[r] = append(edgesOf[r], e)
+		mm.localMax[e.I] += e.W
+		mm.localMax[e.J] += e.W
 	}
 
-	for _, r := range roots {
-		vars := members[r]
+	mm.localIdx = grow(mm.localIdx, n)
+	// Components in first-seen (ascending first member) order.
+	for first := 0; first < n; first++ {
+		r := mm.rootOf[first]
+		if r < 0 || int(mm.varsBuf[mm.varOff[r]]) != first {
+			continue
+		}
+		vars := mm.varsBuf[mm.varOff[r] : mm.varOff[r]+mm.varCnt[r]]
 		if len(vars) < 2 {
 			continue
 		}
 		// Reindexed submodel for this component.
-		local := make(map[int]int, len(vars))
-		subEff := make([]float64, len(vars))
+		mm.subEff = grow(mm.subEff, len(vars))
 		for li, fi := range vars {
-			local[fi] = li
-			subEff[li] = lm.eff[fi]
+			mm.localIdx[fi] = int32(li)
+			mm.subEff[li] = lm.eff[fi]
 		}
-		subEdges := make([]Edge, 0, len(edgesOf[r]))
-		for _, e := range edgesOf[r] {
-			subEdges = append(subEdges, Edge{I: local[e.I], J: local[e.J], W: e.W})
+		compEdges := mm.edgesBuf[mm.edgeOff[r] : mm.edgeOff[r]+mm.edgeCnt[r]]
+		for i, e := range compEdges {
+			compEdges[i] = Edge{I: int(mm.localIdx[e.I]), J: int(mm.localIdx[e.J]), W: e.W}
 		}
 		// Probe each viable variable in the component.
-		var probes []int // component-local indices
+		mm.probes = mm.probes[:0]
 		for li, fi := range vars {
 			p := m.pairs[lm.free[fi]]
-			if base.Has(p) || mPlus.Has(p) || localMax[fi] < 0 {
+			if base.Has(p) || mPlus.Has(p) || mm.localMax[fi] < 0 {
 				continue
 			}
-			probes = append(probes, li)
+			mm.probes = append(mm.probes, int32(li))
 		}
-		if len(probes) == 0 {
+		if len(mm.probes) == 0 {
 			continue
 		}
-		outputs := make([][]bool, len(probes))
-		unary := make([]float64, len(subEff))
-		for pi, li := range probes {
-			copy(unary, subEff)
-			unary[li] = clampWeight
-			outputs[pi] = SolveMAP(unary, subEdges)
+		k := len(vars)
+		mm.probeOut = grow(mm.probeOut, len(mm.probes)*k)
+		mm.subUnary = grow(mm.subUnary, k)
+		for pi, li := range mm.probes {
+			copy(mm.subUnary, mm.subEff[:k])
+			mm.subUnary[li] = clampWeight
+			solveMAPInto(mm.subUnary[:k], compEdges, mm.probeOut[pi*k:(pi+1)*k])
 			calls++
 		}
-		dsu := unionfind.New(len(probes))
-		for pi, li := range probes {
-			for qj := pi + 1; qj < len(probes); qj++ {
-				lj := probes[qj]
-				if outputs[pi][lj] && outputs[qj][li] {
+		// Mutual entailment: probes p, q are grouped when each appears in
+		// the other's conditioned output.
+		dsu := mm.dsuProbe
+		dsu.Reset(len(mm.probes))
+		for pi, li := range mm.probes {
+			for qj := pi + 1; qj < len(mm.probes); qj++ {
+				lj := mm.probes[qj]
+				if mm.probeOut[pi*k+int(lj)] && mm.probeOut[qj*k+int(li)] {
 					dsu.Union(pi, qj)
 				}
 			}
 		}
-		byRoot := map[int][]core.Pair{}
-		var order []int
-		for pi, li := range probes {
-			gr := dsu.Find(pi)
-			if _, ok := byRoot[gr]; !ok {
-				order = append(order, gr)
-			}
-			byRoot[gr] = append(byRoot[gr], m.pairs[lm.free[vars[li]]])
+		mm.grpCnt = grow(mm.grpCnt, len(mm.probes))
+		mm.msgIdx = grow(mm.msgIdx, len(mm.probes))
+		for pi := range mm.probes {
+			mm.grpCnt[pi], mm.msgIdx[pi] = 0, -1
 		}
-		for _, gr := range order {
-			if len(byRoot[gr]) >= 2 { // singletons are dropped by schedulers
-				msgs = append(msgs, byRoot[gr])
+		for pi := range mm.probes {
+			mm.grpCnt[dsu.Find(pi)]++
+		}
+		// Materialize only the non-singleton groups (singletons are
+		// subsumed by evidence-driven re-evaluation), in first-seen order.
+		for pi, li := range mm.probes {
+			gr := dsu.Find(pi)
+			if mm.grpCnt[gr] < 2 {
+				continue
 			}
+			if mm.msgIdx[gr] < 0 {
+				mm.msgIdx[gr] = int32(len(msgs))
+				msgs = append(msgs, make([]core.Pair, 0, mm.grpCnt[gr]))
+			}
+			mi := mm.msgIdx[gr]
+			msgs[mi] = append(msgs[mi], m.pairs[lm.free[vars[li]]])
 		}
 	}
 	return msgs, calls

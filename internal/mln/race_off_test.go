@@ -1,0 +1,7 @@
+//go:build !race
+
+package mln
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation regression bounds are meaningless under its inflation.
+const raceEnabled = false

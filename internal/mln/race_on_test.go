@@ -1,0 +1,5 @@
+//go:build race
+
+package mln
+
+const raceEnabled = true

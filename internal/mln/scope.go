@@ -1,0 +1,316 @@
+package mln
+
+import (
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/unionfind"
+)
+
+// This file implements the matcher's side of core.ScopePreparer: the
+// cover and the ground model are immutable for a whole run — only
+// evidence grows — so everything that depends on (model, neighborhood)
+// alone is computed once per cover and reused by every Match /
+// Candidates / MaximalMessages call. Per-call state (the evidence
+// translation and solver inputs) lives in pooled workspaces holding a
+// dense state vector indexed by candidate-pair id, so all scoring and
+// conditioning inside a call is O(1) slice indexing instead of hashed
+// set lookups.
+
+// scopeEdge is one in-scope interaction of a neighborhood skeleton:
+// scoped pairs at positions pi < pj interact with `count` coauthor
+// groundings. Weights are derived at use time (w.Coauthor may change via
+// SetWeights), so skeletons never go stale.
+type scopeEdge struct {
+	pi, pj int32
+	count  int32
+}
+
+// boundaryEdge is an interaction from scoped position pi to the
+// out-of-scope candidate pair `other` (a global pair id): when `other`
+// is matched in the evidence, the free variable at pi receives the full
+// grounding weight as a unary bonus.
+type boundaryEdge struct {
+	pi    int32
+	other int32
+	count int32
+}
+
+// scope is the prebuilt skeleton of one neighborhood: scoped candidate
+// ids (ascending), their Pair forms (the cached Candidates answer), the
+// local interaction list and the out-of-scope boundary.
+type scope struct {
+	ids      []int32
+	pairs    []core.Pair
+	edges    []scopeEdge
+	boundary []boundaryEdge
+}
+
+// scopeKey identifies a cover neighborhood by the identity of its entity
+// slice — the schedulers pass Cover.Sets[id] through unchanged, so the
+// backing array's first element plus the length pin the neighborhood
+// without hashing its contents.
+type scopeKey struct {
+	first *core.EntityID
+	n     int
+}
+
+// coverScopes is the product of PrepareCover for one cover.
+type coverScopes struct {
+	cover *core.Cover
+	byKey map[scopeKey]*scope
+}
+
+// PrepareCover implements core.ScopePreparer: precompute every
+// neighborhood's skeleton. Idempotent per cover; a different cover
+// replaces the previous preparation atomically, so concurrent Match
+// calls are safe either way (they fall back to the ephemeral path when
+// their entity slice is unknown).
+func (m *Matcher) PrepareCover(c *core.Cover) {
+	if cs := m.scopes.Load(); cs != nil && cs.cover == c {
+		return
+	}
+	ws := m.getWS()
+	defer m.putWS(ws)
+	cs := &coverScopes{cover: c, byKey: make(map[scopeKey]*scope, c.Len())}
+	for _, set := range c.Sets {
+		if len(set) == 0 {
+			continue
+		}
+		sc := &scope{}
+		m.buildScope(set, ws, sc)
+		cs.byKey[scopeKey{&set[0], len(set)}] = sc
+	}
+	m.scopes.Store(cs)
+}
+
+// scopeFor returns the prepared skeleton for a cover neighborhood, or
+// nil when the entity slice is not part of the prepared cover.
+func (m *Matcher) scopeFor(entities []core.EntityID) *scope {
+	if len(entities) == 0 {
+		return nil
+	}
+	cs := m.scopes.Load()
+	if cs == nil {
+		return nil
+	}
+	return cs.byKey[scopeKey{&entities[0], len(entities)}]
+}
+
+// buildScope assembles a neighborhood skeleton into sc using the
+// workspace's entity and position marks (left clean on return). The
+// construction mirrors the original per-call scopedIDs + adjacency walk
+// exactly — including edge order, which ties must not disturb.
+func (m *Matcher) buildScope(entities []core.EntityID, ws *workspace, sc *scope) {
+	for _, e := range entities {
+		ws.inSet[e] = true
+	}
+	ids := sc.ids[:0]
+	for _, e := range entities {
+		for _, id := range m.pairsOf[e] {
+			p := m.pairs[id]
+			if p.A == e && ws.inSet[p.B] { // dedupe: count a pair at its A endpoint
+				ids = append(ids, id)
+			}
+		}
+	}
+	slices.Sort(ids)
+	sc.ids = ids
+	sc.pairs = sc.pairs[:0]
+	for pi, id := range ids {
+		sc.pairs = append(sc.pairs, m.pairs[id])
+		ws.posOf[id] = int32(pi)
+	}
+	sc.edges, sc.boundary = sc.edges[:0], sc.boundary[:0]
+	for pi, id := range ids {
+		for _, e := range m.adj[id] {
+			if pj := ws.posOf[e.other]; pj >= 0 {
+				if e.other > id { // each undirected interaction once
+					sc.edges = append(sc.edges, scopeEdge{pi: int32(pi), pj: pj, count: e.count})
+				}
+			} else {
+				sc.boundary = append(sc.boundary, boundaryEdge{pi: int32(pi), other: e.other, count: e.count})
+			}
+		}
+	}
+	for _, e := range entities {
+		ws.inSet[e] = false
+	}
+	for _, id := range ids {
+		ws.posOf[id] = -1
+	}
+}
+
+// Evidence states in the workspace's dense vector. A zero byte means
+// "not translated yet"; translated entries carry stFilled plus the
+// membership bits, so pos∩neg overlaps keep the exact semantics of the
+// original per-set lookups (neg wins for the echo, pos alone drives
+// support bonuses).
+const (
+	stFilled uint8 = 1 << 7
+	stPos    uint8 = 1
+	stNeg    uint8 = 2
+)
+
+// workspace is the per-call scratch of one Match / MaximalMessages /
+// LogScore invocation, pooled on the matcher. state and posOf are sized
+// to the global candidate-pair universe; inSet to the entity universe.
+type workspace struct {
+	state   []uint8 // dense evidence view, indexed by candidate-pair id
+	touched []int32 // state indices to zero on release
+	posOf   []int32 // global pair id -> scope position (-1 outside)
+	inSet   []bool  // entity membership marks (buildScope only)
+	slots   []int32 // scope position -> free-variable slot (-1 decided)
+
+	// localModel backing storage (free/eff/deg/edges) plus the solver
+	// assignment; see buildLocal.
+	free  []int32
+	eff   []float64
+	deg   []int32
+	edges []Edge
+	x     []bool
+
+	eph scope          // ephemeral skeleton for non-cover entity slices
+	mm  maximalScratch // MaximalMessages component bookkeeping
+}
+
+// getWS hands out a clean workspace.
+func (m *Matcher) getWS() *workspace {
+	ws := m.wsPool.Get().(*workspace)
+	return ws
+}
+
+// putWS zeroes the touched state entries and returns ws to the pool.
+func (m *Matcher) putWS(ws *workspace) {
+	st := ws.state
+	for _, id := range ws.touched {
+		st[id] = 0
+	}
+	ws.touched = ws.touched[:0]
+	m.wsPool.Put(ws)
+}
+
+// newWorkspace sizes a workspace for the matcher's universes.
+func newWorkspace(numPairs, numEntities int) *workspace {
+	ws := &workspace{
+		state: make([]uint8, numPairs),
+		posOf: make([]int32, numPairs),
+		inSet: make([]bool, numEntities),
+	}
+	for i := range ws.posOf {
+		ws.posOf[i] = -1
+	}
+	ws.mm.dsuComp = unionfind.New(0)
+	ws.mm.dsuProbe = unionfind.New(0)
+	return ws
+}
+
+// fillState translates the evidence membership of candidate pair id into
+// the dense vector (once per id per call) and returns it.
+func (ws *workspace) fillState(m *Matcher, id int32, pos, neg core.PairSet) uint8 {
+	v := ws.state[id]
+	if v != 0 {
+		return v
+	}
+	v = stFilled
+	k := m.pairs[id].Key()
+	if pos.HasKey(k) {
+		v |= stPos
+	}
+	if neg.HasKey(k) {
+		v |= stNeg
+	}
+	ws.state[id] = v
+	ws.touched = append(ws.touched, id)
+	return v
+}
+
+// localModel is the conditioned submodel of one neighborhood: the free
+// match variables with their effective unary weights (base weight plus
+// evidence-supported groundings) and the in-scope pairwise interactions.
+// All slices are views into the owning workspace.
+type localModel struct {
+	free  []int32 // candidate pair ids
+	eff   []float64
+	edges []Edge // indices refer to positions in free
+	deg   []int32
+	out   core.PairSet
+}
+
+// buildLocal assembles the conditioned submodel from a prebuilt skeleton
+// and the dense evidence view; out is pre-seeded with the in-scope
+// positive evidence (echoed in every Match output).
+func (m *Matcher) buildLocal(sc *scope, pos, neg core.PairSet, ws *workspace) localModel {
+	lm := localModel{out: core.NewPairSet()}
+	n := len(sc.ids)
+	if cap(ws.slots) < n {
+		ws.slots = make([]int32, n)
+	}
+	slots := ws.slots[:n]
+	free := ws.free[:0]
+	for pi, id := range sc.ids {
+		v := ws.fillState(m, id, pos, neg)
+		if v == stFilled { // in neither evidence set: free variable
+			slots[pi] = int32(len(free))
+			free = append(free, id)
+			continue
+		}
+		slots[pi] = -1
+		if v&stNeg == 0 && v&stPos != 0 {
+			lm.out.Add(sc.pairs[pi])
+		}
+	}
+	nf := len(free)
+	if cap(ws.eff) < nf {
+		ws.eff = make([]float64, nf)
+		ws.deg = make([]int32, nf)
+	}
+	eff, deg := ws.eff[:nf], ws.deg[:nf]
+	for fi, id := range free {
+		eff[fi] = m.unary[id] + m.w.TieEps
+		deg[fi] = 0
+	}
+	edges := ws.edges[:0]
+	cw := m.w.Coauthor
+	for _, e := range sc.edges {
+		si, sj := slots[e.pi], slots[e.pj]
+		switch {
+		case si >= 0 && sj >= 0:
+			edges = append(edges, Edge{I: int(si), J: int(sj), W: cw * float64(e.count)})
+			deg[si]++
+			deg[sj]++
+		case si >= 0:
+			if ws.state[sc.ids[e.pj]]&stPos != 0 {
+				eff[si] += cw * float64(e.count)
+			}
+		case sj >= 0:
+			if ws.state[sc.ids[e.pi]]&stPos != 0 {
+				eff[sj] += cw * float64(e.count)
+			}
+		}
+	}
+	for _, be := range sc.boundary {
+		if si := slots[be.pi]; si >= 0 {
+			if ws.fillState(m, be.other, pos, neg)&stPos != 0 {
+				eff[si] += cw * float64(be.count)
+			}
+		}
+	}
+	ws.free, ws.edges = free, edges
+	lm.free, lm.eff, lm.deg, lm.edges = free, eff, deg, edges
+	return lm
+}
+
+// scopeOf resolves the skeleton for an entity slice: the prepared one
+// for cover neighborhoods, or an ephemeral skeleton built into the
+// workspace for arbitrary slices (tests, the weight learner, whole-set
+// runs).
+func (m *Matcher) scopeOf(entities []core.EntityID, ws *workspace) *scope {
+	if sc := m.scopeFor(entities); sc != nil {
+		return sc
+	}
+	m.buildScope(entities, ws, &ws.eph)
+	return &ws.eph
+}
+
+var _ core.ScopePreparer = (*Matcher)(nil)

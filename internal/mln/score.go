@@ -6,18 +6,49 @@ import "repro/internal/core"
 // probability of a global match set, log PE(S) + const = score(S) =
 // Σ_{p∈S} (unary(p) + ε) + Σ_{p,q∈S} coauthor groundings. Sets containing
 // non-candidate pairs have probability ≈ 0.
+//
+// The set is translated once into the workspace's dense state vector, so
+// the quadratic interaction term costs one slice index per adjacency
+// entry instead of a hashed set lookup. logScoreNaive retains the direct
+// PairSet evaluation as the reference the fuzz tests compare against.
 func (m *Matcher) LogScore(s core.PairSet) float64 {
+	ws := m.getWS()
+	defer m.putWS(ws)
+	st := ws.state
+	for k := range s {
+		id, ok := m.idOf[k]
+		if !ok {
+			return nonCandidateLogScore
+		}
+		st[id] = stFilled | stPos
+		ws.touched = append(ws.touched, id)
+	}
 	total := 0.0
-	for p := range s {
-		id, ok := m.idOf[p]
+	for _, id := range ws.touched {
+		total += m.unary[id] + m.w.TieEps
+		for _, e := range m.adj[id] {
+			if st[e.other]&stPos != 0 {
+				// Each unordered (p, q) interaction is stored on both
+				// adjacency lists; halve to count it once.
+				total += m.w.Coauthor * float64(e.count) / 2
+			}
+		}
+	}
+	return total
+}
+
+// logScoreNaive is the pre-dense-view reference implementation of
+// LogScore, kept verbatim for differential testing.
+func (m *Matcher) logScoreNaive(s core.PairSet) float64 {
+	total := 0.0
+	for p := range s.All() {
+		id, ok := m.idOf[p.Key()]
 		if !ok {
 			return nonCandidateLogScore
 		}
 		total += m.unary[id] + m.w.TieEps
 		for _, e := range m.adj[id] {
 			if s.Has(m.pairs[e.other]) {
-				// Each unordered (p, q) interaction is stored on both
-				// adjacency lists; halve to count it once.
 				total += m.w.Coauthor * float64(e.count) / 2
 			}
 		}
@@ -33,7 +64,7 @@ const nonCandidateLogScore = -1e12
 // the cheap conditional-probability computation Algorithm 3's Step 7
 // depends on.
 func (m *Matcher) ScoreDelta(p core.Pair, s core.PairSet) float64 {
-	id, ok := m.idOf[p]
+	id, ok := m.idOf[p.Key()]
 	if !ok {
 		return nonCandidateLogScore
 	}
@@ -42,7 +73,7 @@ func (m *Matcher) ScoreDelta(p core.Pair, s core.PairSet) float64 {
 	}
 	delta := m.unary[id] + m.w.TieEps
 	for _, e := range m.adj[id] {
-		if s.Has(m.pairs[e.other]) {
+		if s.HasKey(m.pairs[e.other].Key()) {
 			delta += m.w.Coauthor * float64(e.count)
 		}
 	}
@@ -51,26 +82,34 @@ func (m *Matcher) ScoreDelta(p core.Pair, s core.PairSet) float64 {
 
 // ScoreSetDelta implements core.DeltaScorer:
 // LogScore(s ∪ add) − LogScore(s) in O(|add|·deg), counting interactions
-// internal to add exactly once.
+// internal to add exactly once. The added-so-far bookkeeping lives in
+// the workspace's dense vector (one bit per candidate pair) instead of a
+// per-call map.
 func (m *Matcher) ScoreSetDelta(add []core.Pair, s core.PairSet) float64 {
-	added := make(map[core.Pair]bool, len(add))
+	ws := m.getWS()
+	defer m.putWS(ws)
+	st := ws.state
 	total := 0.0
 	for _, p := range add {
-		if s.Has(p) || added[p] {
+		if s.Has(p) {
+			// Already in s (candidate or not): s ∪ add is unchanged by p.
 			continue
 		}
-		id, ok := m.idOf[p]
+		id, ok := m.idOf[p.Key()]
 		if !ok {
 			return nonCandidateLogScore
 		}
+		if st[id]&stPos != 0 {
+			continue
+		}
 		total += m.unary[id] + m.w.TieEps
 		for _, e := range m.adj[id] {
-			q := m.pairs[e.other]
-			if s.Has(q) || added[q] {
+			if st[e.other]&stPos != 0 || s.HasKey(m.pairs[e.other].Key()) {
 				total += m.w.Coauthor * float64(e.count)
 			}
 		}
-		added[p] = true
+		st[id] = stFilled | stPos
+		ws.touched = append(ws.touched, id)
 	}
 	return total
 }
@@ -81,7 +120,7 @@ func (m *Matcher) ScoreSetDelta(add []core.Pair, s core.PairSet) float64 {
 // non-negative under total support. This prunes the probe set from k² to
 // the structurally relevant pairs without changing any output.
 func (m *Matcher) Probeable(p core.Pair) bool {
-	id, ok := m.idOf[p]
+	id, ok := m.idOf[p.Key()]
 	if !ok {
 		return false
 	}
@@ -99,13 +138,13 @@ func (m *Matcher) Probeable(p core.Pair) bool {
 // matched when its conditional score gain, with every other pair clamped
 // to its membership in given, is non-negative.
 func (m *Matcher) DecideGiven(p core.Pair, given core.PairSet) bool {
-	id, ok := m.idOf[p]
+	id, ok := m.idOf[p.Key()]
 	if !ok {
 		return false
 	}
 	delta := m.unary[id] + m.w.TieEps
 	for _, e := range m.adj[id] {
-		if given.Has(m.pairs[e.other]) {
+		if given.HasKey(m.pairs[e.other].Key()) {
 			delta += m.w.Coauthor * float64(e.count)
 		}
 	}

@@ -17,7 +17,11 @@
 // cites for precisely this fact), implemented on internal/maxflow.
 package mln
 
-import "repro/internal/maxflow"
+import (
+	"sync"
+
+	"repro/internal/maxflow"
+)
 
 // Edge is a non-negative pairwise interaction between variables I and J.
 type Edge struct {
@@ -37,12 +41,42 @@ type Edge struct {
 // leaving unary terms plus non-negative "disagreement" costs, which map
 // directly onto cut capacities.
 func SolveMAP(unary []float64, edges []Edge) []bool {
-	n := len(unary)
-	if n == 0 {
+	out := make([]bool, len(unary))
+	solveMAPInto(unary, edges, out)
+	if len(out) == 0 {
 		return nil
 	}
+	return out
+}
+
+// mapSolver bundles the flow network and scratch buffers one MAP solve
+// needs. Solvers are pooled: SMP/MMP invoke inference once per
+// neighborhood evaluation (plus once per conditioned probe), and reusing
+// the graph's arc and level arrays across invocations removes the
+// dominant per-call allocations of the hot path.
+type mapSolver struct {
+	g    *maxflow.Graph
+	c    []float64
+	seen []bool
+}
+
+var solverPool = sync.Pool{New: func() any { return &mapSolver{g: maxflow.New(0)} }}
+
+// solveMAPInto is SolveMAP writing the assignment into out
+// (len(out) = len(unary)), drawing all working memory from the solver
+// pool.
+func solveMAPInto(unary []float64, edges []Edge, out []bool) {
+	n := len(unary)
+	if n == 0 {
+		return
+	}
+	sv := solverPool.Get().(*mapSolver)
+	defer solverPool.Put(sv)
 	// c[i] = coefficient of x_i in E after the rewrite.
-	c := make([]float64, n)
+	if cap(sv.c) < n {
+		sv.c = make([]float64, n)
+	}
+	c := sv.c[:n]
 	for i, a := range unary {
 		c[i] = -a
 	}
@@ -52,7 +86,8 @@ func SolveMAP(unary []float64, edges []Edge) []bool {
 	}
 	// Vertices: 0..n-1 variables, n = source, n+1 = sink.
 	s, t := n, n+1
-	g := maxflow.New(n + 2)
+	g := sv.g
+	g.Reset(n + 2)
 	for i, ci := range c {
 		if ci > 0 {
 			g.AddEdge(i, t, ci) // pay ci when x_i = 1 (source side)
@@ -67,10 +102,11 @@ func SolveMAP(unary []float64, edges []Edge) []bool {
 		g.AddUndirected(e.I, e.J, e.W/2)
 	}
 	g.MaxFlow(s, t)
-	side := g.MinCutSource(s)
-	out := make([]bool, n)
+	if cap(sv.seen) < n+2 {
+		sv.seen = make([]bool, n+2)
+	}
+	side := g.MinCutSourceInto(s, sv.seen[:n+2])
 	copy(out, side[:n])
-	return out
 }
 
 // ScoreAssignment evaluates f(x) for an assignment (test helper and

@@ -222,7 +222,7 @@ func (m *Matcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.Pa
 	// derived so far. out holds the in-scope portion.
 	equals := pos.Clone()
 	out := core.NewPairSet()
-	for p := range pos {
+	for p := range pos.All() {
 		if neg.Has(p) {
 			continue
 		}
@@ -261,7 +261,7 @@ func (m *Matcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.Pa
 // equals/out. Reports whether anything was added.
 func (m *Matcher) closeTransitively(entities []core.EntityID, in map[core.EntityID]int32, equals, neg, out core.PairSet) bool {
 	dsu := unionfind.New(len(entities))
-	for p := range out {
+	for p := range out.All() {
 		dsu.Union(int(in[p.A]), int(in[p.B]))
 	}
 	members := map[int][]core.EntityID{}

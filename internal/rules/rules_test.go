@@ -276,7 +276,7 @@ func TestWellBehavedGenerated(t *testing.T) {
 // (the end-of-run closure step Appendix A prescribes).
 func closure(matches core.PairSet, n int) core.PairSet {
 	dsu := unionfind.New(n)
-	for p := range matches {
+	for p := range matches.All() {
 		dsu.Union(int(p.A), int(p.B))
 	}
 	members := map[int][]core.EntityID{}

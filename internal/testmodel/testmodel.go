@@ -131,7 +131,7 @@ func (m *Model) Candidates(entities []core.EntityID) []core.Pair {
 // LogScore implements core.Probabilistic over the full model.
 func (m *Model) LogScore(s core.PairSet) float64 {
 	total := 0.0
-	for p := range s {
+	for p := range s.All() {
 		w, ok := m.Unary[p]
 		if !ok {
 			return nonCandidatePenalty

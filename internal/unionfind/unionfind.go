@@ -25,6 +25,23 @@ func New(n int) *DSU {
 	return d
 }
 
+// Reset re-initializes the structure to n singleton sets, reusing the
+// existing backing arrays when large enough. It lets one DSU serve many
+// solves in a pooled workspace.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+		d.rank = make([]int8, n)
+	}
+	d.parent = d.parent[:n]
+	d.rank = d.rank[:n]
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+	}
+	d.count = n
+}
+
 // Len returns the number of elements in the universe.
 func (d *DSU) Len() int { return len(d.parent) }
 

@@ -23,8 +23,25 @@ type EntityID = core.EntityID
 // MakePair).
 type Pair = core.Pair
 
-// PairSet is a set of normalized pairs (build with NewPairSet).
+// PairKey is a pair packed into one uint64 (A high, B low): the set
+// representation and the stable sort order of the engine. Ranging over a
+// PairSet yields PairKeys; unpack with PairKey.Pair or iterate pairs
+// directly with PairSet.All.
+type PairKey = core.PairKey
+
+// PairSet is a set of normalized pairs on packed keys (build with
+// NewPairSet; iterate with All or Sorted).
 type PairSet = core.PairSet
+
+// Cover is a set of neighborhoods whose union is the entity set (§4).
+type Cover = core.Cover
+
+// ScopePreparer is the optional matcher extension the schedulers invoke
+// once per run with the run's cover, letting a matcher precompute
+// per-neighborhood state (the cover and the model are immutable during a
+// run; only evidence grows). Matchers must keep answering correctly for
+// entity slices outside the prepared cover.
+type ScopePreparer = core.ScopePreparer
 
 // Matcher is the Type-I black-box abstraction (Definition 1): a
 // deterministic function E(E, V+, V−) from an entity subset and

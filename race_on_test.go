@@ -1,0 +1,5 @@
+//go:build race
+
+package cem_test
+
+const raceEnabled = true

@@ -41,12 +41,12 @@ func strongOnly(mc cem.MatcherContext) (match.Matcher, error) {
 	return match.MatcherFunc{
 		MatchFn: func(entities []match.EntityID, pos, neg match.PairSet) match.PairSet {
 			out := match.NewPairSet()
-			for p := range strong {
+			for p := range strong.All() {
 				if inScope(entities, p) && !neg.Has(p) {
 					out.Add(p)
 				}
 			}
-			for p := range pos {
+			for p := range pos.All() {
 				if inScope(entities, p) {
 					out.Add(p)
 				}
@@ -254,7 +254,7 @@ func TestRunnerOptions(t *testing.T) {
 		t.Skip("no matches to negate at this scale")
 	}
 	var victim match.Pair
-	for p := range base.Matches {
+	for p := range base.Matches.All() {
 		victim = p
 		break
 	}
