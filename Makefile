@@ -1,8 +1,16 @@
 # Developer entry points. CI runs the same targets.
 
 GO       ?= go
-PR       ?= 3
+GOFLAGS  ?=
+PR       ?= 4
 BENCHOUT ?= BENCH_$(PR).json
+
+# BENCH_LABEL is the label bench-json stores its run under, and the run
+# bench-compare grades; BASELINE_LABEL is the committed reference it is
+# graded against. CI and local runs share these knobs, so the gate and a
+# developer's `make bench-json bench-compare` see the same data.
+BENCH_LABEL    ?= current
+BASELINE_LABEL ?= pr3-baseline
 
 # Benchmarks recorded in the committed trajectory: the scheme executors
 # (the matching hot path this engine optimizes), the blocking stage, and
@@ -11,42 +19,49 @@ SCHEME_BENCH   = ^Benchmark(NoMP|SMP|MMP|UB|Full|Blocking|Pipeline|Setup|Grid)
 MATCHER_BENCH  = ^Benchmark(New|MatchWarm)$$
 BENCHTIME     ?= 5x
 
-.PHONY: build test race bench bench-json fuzz fmt vet clean
+.PHONY: build test race bench bench-json bench-compare fuzz fmt vet clean
 
 build:
-	$(GO) build ./...
+	$(GO) build $(GOFLAGS) ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test $(GOFLAGS) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test $(GOFLAGS) -race ./...
 
 fmt:
 	gofmt -l .
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(GOFLAGS) ./...
 
 # bench prints the hot-path benchmark table.
 bench:
-	$(GO) test -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) .
-	$(GO) test -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/mln/
+	$(GO) test $(GOFLAGS) -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) .
+	$(GO) test $(GOFLAGS) -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/mln/
 
-# bench-json refreshes the "current" run in $(BENCHOUT), preserving any
-# other labels (e.g. the pre-engine baseline) already committed there. A
+# bench-json refreshes the $(BENCH_LABEL) run in $(BENCHOUT), preserving
+# any other labels (e.g. the committed baseline) already there. A
 # failing benchmark run fails the target — no partial trajectories.
 bench-json:
-	@$(GO) test -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) . > .bench.scheme.tmp \
-	 && $(GO) test -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/mln/ > .bench.mln.tmp \
-	 && cat .bench.scheme.tmp .bench.mln.tmp | $(GO) run ./cmd/benchjson -o $(BENCHOUT) -label current; \
+	@$(GO) test $(GOFLAGS) -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) . > .bench.scheme.tmp \
+	 && $(GO) test $(GOFLAGS) -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/mln/ > .bench.mln.tmp \
+	 && cat .bench.scheme.tmp .bench.mln.tmp | $(GO) run $(GOFLAGS) ./cmd/benchjson -o $(BENCHOUT) -label $(BENCH_LABEL); \
 	 status=$$?; rm -f .bench.scheme.tmp .bench.mln.tmp; exit $$status
 
-# fuzz smoke-runs the dense-vs-naive scoring fuzz target (the one this
-# engine's correctness leans on; similarity/canopy/bib have further fuzz
-# targets runnable the same way).
+# bench-compare is the regression gate: fail if $(BENCH_LABEL) regressed
+# against $(BASELINE_LABEL) beyond the thresholds (>25% ns/op on the
+# same machine, >10% allocs/op anywhere). CI runs it after bench-json.
+bench-compare:
+	$(GO) run $(GOFLAGS) ./cmd/benchjson -o $(BENCHOUT) -compare $(BASELINE_LABEL) -label $(BENCH_LABEL)
+
+# fuzz smoke-runs the engine's two correctness-critical fuzz targets:
+# dense-vs-naive scoring and the wire codec round trip (the nightly CI
+# job runs every Fuzz* target for longer).
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzDenseLogScore -fuzztime 10s ./internal/mln/
+	$(GO) test $(GOFLAGS) -run '^$$' -fuzz FuzzDenseLogScore -fuzztime 10s ./internal/mln/
+	$(GO) test $(GOFLAGS) -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 10s ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// runCompare is the CI regression gate: it diffs the cur run against the
+// base run inside file and returns the process exit code. Every
+// benchmark tracked by the baseline must still exist and stay within the
+// thresholds; new benchmarks in cur are informational only.
+func runCompare(file, base, cur string, maxNsPct, maxAllocsPct float64) int {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", file, err)
+		return 2
+	}
+	baseRun, ok := f.Runs[base]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no %q run (labels: %v)\n", file, base, labels(f))
+		return 2
+	}
+	curRun, ok := f.Runs[cur]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no %q run (labels: %v)\n", file, cur, labels(f))
+		return 2
+	}
+
+	// Wall-clock ratios only mean something on the same hardware; the
+	// allocation gate is deterministic and always binding.
+	sameMachine := baseRun.GOOS == curRun.GOOS && baseRun.GOARCH == curRun.GOARCH && baseRun.CPU == curRun.CPU
+	if !sameMachine {
+		fmt.Printf("note: %q measured on %s/%s (%s), %q on %s/%s (%s) — ns/op regressions are advisory, allocs/op enforced\n",
+			base, baseRun.GOOS, baseRun.GOARCH, baseRun.CPU,
+			cur, curRun.GOOS, curRun.GOARCH, curRun.CPU)
+	}
+
+	curBy := map[string]Result{}
+	for _, r := range curRun.Results {
+		curBy[r.Package+"/"+r.Name] = r
+	}
+
+	violations := 0
+	fmt.Printf("%-46s %14s %14s %9s %9s\n", "benchmark ("+base+" → "+cur+")", "ns/op", "allocs/op", "Δns", "Δallocs")
+	for _, b := range baseRun.Results {
+		key := b.Package + "/" + b.Name
+		c, ok := curBy[key]
+		if !ok {
+			fmt.Printf("%-46s MISSING — tracked benchmark disappeared\n", b.Name)
+			violations++
+			continue
+		}
+		dns := pctChange(b.NsPerOp, c.NsPerOp)
+		dal := pctChange(b.AllocsOp, c.AllocsOp)
+		verdict := ""
+		if dns > maxNsPct {
+			if sameMachine {
+				verdict = "  << ns/op regression"
+				violations++
+			} else {
+				verdict = "  (ns/op drift, advisory)"
+			}
+		}
+		if dal > maxAllocsPct || (b.AllocsOp == 0 && c.AllocsOp > 0) {
+			verdict += "  << allocs/op regression"
+			violations++
+		}
+		fmt.Printf("%-46s %7.0f→%6.0f %7.0f→%6.0f %+8.1f%% %+8.1f%%%s\n",
+			b.Name, b.NsPerOp, c.NsPerOp, b.AllocsOp, c.AllocsOp, dns, dal, verdict)
+	}
+	if violations > 0 {
+		fmt.Printf("\nFAIL: %d regression(s) beyond thresholds (ns/op > %.0f%%, allocs/op > %.0f%%) against %q\n",
+			violations, maxNsPct, maxAllocsPct, base)
+		return 1
+	}
+	fmt.Printf("\nOK: %d tracked benchmarks within thresholds (ns/op ≤ %.0f%%, allocs/op ≤ %.0f%%) against %q\n",
+		len(baseRun.Results), maxNsPct, maxAllocsPct, base)
+	return 0
+}
+
+// pctChange returns the percent increase from base to cur (0 when base
+// is 0 — the zero-to-nonzero allocation case is flagged separately).
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func labels(f File) []string {
+	out := make([]string, 0, len(f.Runs))
+	for l := range f.Runs {
+		out = append(out, l)
+	}
+	return out
+}

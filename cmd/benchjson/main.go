@@ -7,7 +7,20 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_3.json -label current
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_4.json -label current
+//
+// With -compare BASELINE it instead diffs the -label run against the
+// BASELINE label already in -o and exits 1 on regression: more than
+// -max-ns-regress percent slower (ns/op) or -max-allocs-regress percent
+// more allocations on any benchmark tracked by the baseline, or a
+// tracked benchmark missing entirely. Allocation counts are
+// deterministic, so the allocs gate is enforced unconditionally; ns/op
+// is only enforced when both runs were measured on the same
+// GOOS/GOARCH/CPU (cross-machine wall-clock ratios are noise, and a
+// hard gate on them would flap) and is reported as an advisory
+// otherwise.
+//
+//	benchjson -o BENCH_4.json -compare pr3-baseline
 package main
 
 import (
@@ -57,8 +70,19 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout, no merging)")
-	label := flag.String("label", "current", "label to store this run under")
+	label := flag.String("label", "current", "label to store this run under (or to compare)")
+	compare := flag.String("compare", "", "compare mode: diff -label against this baseline label in -o and fail on regression")
+	maxNs := flag.Float64("max-ns-regress", 25, "compare: max tolerated ns/op regression, percent")
+	maxAllocs := flag.Float64("max-allocs-regress", 10, "compare: max tolerated allocs/op regression, percent")
 	flag.Parse()
+
+	if *compare != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare requires -o")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*out, *compare, *label, *maxNs, *maxAllocs))
+	}
 
 	results, cpu := parse(os.Stdin)
 	if len(results) == 0 {

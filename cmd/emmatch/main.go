@@ -10,6 +10,8 @@
 //	emmatch -kind dblp -scale 0.5 -scheme smp -matcher rules -closure
 //	emmatch -kind hepth -parallel 8 -progress
 //	emmatch -records records.tsv -scheme smp -shards 4 -bcubed
+//	emmatch -kind hepth -backend sharded -backend-shards 4 -checkpoint-dir run1/
+//	emmatch -kind hepth -scheme smp -checkpoint-dir run1/ -resume
 package main
 
 import (
@@ -38,12 +40,32 @@ func main() {
 		parallel = flag.Int("parallel", 1, "concurrent neighborhood evaluations")
 		shards   = flag.Int("shards", 0, "blocking shards for -records (0 = one per CPU)")
 		maxNbr   = flag.Int("max-neighborhood", 0, "canopy size bound for -records (0 = unbounded)")
+		backend  = flag.String("backend", "", "execution backend: "+strings.Join(cem.Backends(), " | ")+" (empty = default pool)")
+		bShards  = flag.Int("backend-shards", 0, "shard count for the sharded backend (0 = one per CPU)")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist a checkpoint after every round to this directory")
+		resume   = flag.Bool("resume", false, "continue the run from -checkpoint-dir instead of starting over")
 		progress = flag.Bool("progress", false, "print a line per neighborhood evaluation")
 		verbose  = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
 
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *bShards != 0 && *backend == "" {
+		fatal(fmt.Errorf("-backend-shards requires -backend (e.g. -backend sharded)"))
+	}
 	opts := []cem.RunnerOption{cem.WithParallelism(*parallel)}
+	if *backend != "" {
+		b, err := cem.NewBackend(*backend, *bShards)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, cem.WithBackend(b))
+	}
+	if *ckptDir != "" {
+		opts = append(opts, cem.WithCheckpointDir(*ckptDir))
+	}
 	if *closure {
 		opts = append(opts, cem.WithTransitiveClosure())
 	}
@@ -55,7 +77,7 @@ func main() {
 	}
 
 	if *records != "" {
-		runPipeline(*records, *scheme, *matcher, *shards, *maxNbr, *bcubed, *verbose, opts)
+		runPipeline(*records, *scheme, *matcher, *shards, *maxNbr, *bcubed, *verbose, *resume, opts)
 		return
 	}
 
@@ -87,7 +109,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := runner.Run(context.Background(), cem.Scheme(*scheme))
+	var res *cem.Result
+	if *resume {
+		res, err = runner.Resume(context.Background(), cem.Scheme(*scheme))
+	} else {
+		res, err = runner.Run(context.Background(), cem.Scheme(*scheme))
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -105,7 +132,7 @@ func main() {
 
 // runPipeline is the -records path: raw records → blocking → matching →
 // metrics through the public Pipeline API.
-func runPipeline(path, scheme, matcher string, shards, maxNbr int, bcubed, verbose bool, runnerOpts []cem.RunnerOption) {
+func runPipeline(path, scheme, matcher string, shards, maxNbr int, bcubed, verbose, resume bool, runnerOpts []cem.RunnerOption) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -129,7 +156,12 @@ func runPipeline(path, scheme, matcher string, shards, maxNbr int, bcubed, verbo
 	if err != nil {
 		fatal(err)
 	}
-	res, err := pipe.Run(context.Background(), recs)
+	var res *cem.PipelineResult
+	if resume {
+		res, err = pipe.Resume(context.Background(), recs)
+	} else {
+		res, err = pipe.Run(context.Background(), recs)
+	}
 	if err != nil {
 		fatal(err)
 	}

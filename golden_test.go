@@ -71,6 +71,14 @@ func TestGoldenMatchSets(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			shardCounts := []int{1, 2, 4}
+			sharded := make([]*cem.Runner, len(shardCounts))
+			for i, k := range shardCounts {
+				sharded[i], err = exp.Runner(matcher, cem.WithShardCount(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
 			for _, scheme := range goldenMatrix[matcher] {
 				name := fmt.Sprintf("%s-%s-%s", ds.kind, matcher, scheme)
 				t.Run(name, func(t *testing.T) {
@@ -110,6 +118,21 @@ func TestGoldenMatchSets(t *testing.T) {
 					if pgot := renderMatches(pres); pgot != string(want) {
 						t.Errorf("parallel(4) match set diverges from %s: %s",
 							path, firstDiff(pgot, string(want)))
+					}
+					// The shard-partitioned backend — private evidence
+					// replicas synchronized only by serialized delta
+					// batches — must also land on the byte-identical
+					// fixture for every shard count (consistency again;
+					// the wire codec must be lossless for that to hold).
+					for i, k := range shardCounts {
+						sres, err := sharded[i].Run(context.Background(), scheme)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if sgot := renderMatches(sres); sgot != string(want) {
+							t.Errorf("sharded(%d) match set diverges from %s: %s",
+								k, path, firstDiff(sgot, string(want)))
+						}
 					}
 				})
 			}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// RoundPlan is the immutable description of one round-based scheme run:
+// which scheme, over which cover, with which matcher. Backends read it;
+// only the RoundDriver mutates run state. The paper's map/reduce view of
+// SMP and MMP (§6.3) is exactly this split: a plan that any worker
+// topology can execute, plus a central reduce.
+type RoundPlan struct {
+	// Config is the framework configuration (cover, matcher, relation,
+	// negative evidence, parallelism, progress callback).
+	Config Config
+	// Scheme is the canonical scheme name ("NO-MP", "SMP", "MMP").
+	Scheme string
+	// Exchange reports whether rounds exchange evidence and re-activate
+	// affected neighborhoods (SMP/MMP). NO-MP runs exactly one round with
+	// a nil evidence snapshot.
+	Exchange bool
+	// WithMessages reports whether evaluations additionally compute
+	// maximal messages (MMP).
+	WithMessages bool
+	// Prob is the Type-II view of the matcher; non-nil iff WithMessages.
+	Prob Probabilistic
+	// CanSkip reports whether the matcher opted into the
+	// candidate-closure contract (ScopePreparer), allowing undecided-free
+	// re-activations to be discharged without a matcher call.
+	CanSkip bool
+}
+
+// newRoundPlan validates the scheme, announces the cover to a
+// scope-preparing matcher, and builds the plan.
+func newRoundPlan(cfg Config, scheme string) (*RoundPlan, error) {
+	plan := &RoundPlan{Config: cfg, Scheme: scheme}
+	switch scheme {
+	case "NO-MP":
+	case "SMP":
+		plan.Exchange = true
+	case "MMP":
+		prob, ok := cfg.Matcher.(Probabilistic)
+		if !ok {
+			return nil, fmt.Errorf("core: MMP requires a Probabilistic (Type-II) matcher, got %T", cfg.Matcher)
+		}
+		plan.Exchange, plan.WithMessages, plan.Prob = true, true, prob
+	default:
+		return nil, fmt.Errorf("core: scheme %q has no round-based executor", scheme)
+	}
+	plan.CanSkip = prepareScopes(&plan.Config)
+	return plan, nil
+}
+
+// Backend executes the rounds of a message-passing scheme. A backend
+// owns the Map side — where and how the active neighborhoods are
+// evaluated each round — while the RoundDriver owns the Reduce side:
+// merging evidence, promoting messages, deriving the next active set,
+// and checkpointing. Theorems 2 and 4 (consistency) are what make the
+// backend choice invisible in the output: any topology that evaluates
+// each round's active set against the round-start evidence snapshot
+// produces the identical match set for well-behaved matchers.
+//
+// The contract per round: call driver.Evaluate (or equivalent) for every
+// id in driver.Active(), against an evidence snapshot equal to
+// driver.Snapshot() at round start, and pass the jobs — in active-set
+// order — to driver.FinishRound. Repeat until driver.Done().
+type Backend interface {
+	RunRounds(ctx context.Context, plan *RoundPlan, driver *RoundDriver) error
+}
+
+// PoolBackend is the default execution backend: rounds are mapped on an
+// in-process worker pool over shared memory (plan.Config.Parallelism
+// workers), exactly the executor WithParallelism has always used.
+type PoolBackend struct{}
+
+// RunRounds implements Backend.
+func (PoolBackend) RunRounds(ctx context.Context, plan *RoundPlan, d *RoundDriver) error {
+	for !d.Done() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Round 1 visits every neighborhood for the first time; later
+		// rounds are re-activations, where undecided-free scopes may be
+		// discharged without a matcher call (candidate-closure matchers
+		// only; see ScopePreparer).
+		jobs, err := mapNeighborhoods(ctx, plan.Config, d.Active(), d.Snapshot(),
+			plan.WithMessages, d.AllowSkip(), plan.Prob)
+		if err != nil {
+			return err
+		}
+		if err := d.FinishRound(jobs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

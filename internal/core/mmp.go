@@ -25,7 +25,7 @@ func MMP(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: MMP requires a Probabilistic (Type-II) matcher, got %T", cfg.Matcher)
 	}
 	if cfg.workers() > 1 {
-		return runRounds(ctx, cfg, "MMP", true)
+		return runRounds(ctx, cfg, "MMP")
 	}
 
 	start := time.Now()

@@ -6,9 +6,9 @@ import (
 	"time"
 )
 
-// evalJob is the outcome of one parallel neighborhood evaluation: the
+// Job is the outcome of one neighborhood evaluation: the
 // Map side of the shared-memory round executor.
-type evalJob struct {
+type Job struct {
 	id      int32
 	matches PairSet
 	msgs    [][]Pair // maximal messages (MMP rounds only)
@@ -27,41 +27,45 @@ func allNeighborhoods(n int) []int32 {
 	return ids
 }
 
+// evalNeighborhood runs one neighborhood against an evidence snapshot:
+// the Map-side unit of work shared by every backend. The evidence set is
+// only read. withMessages additionally runs COMPUTEMAXIMAL (prob must
+// then be non-nil); allowSkip discharges neighborhoods with no undecided
+// in-scope pair without calling the matcher (re-activation rounds only;
+// see RunStats.Skips).
+func evalNeighborhood(cfg *Config, id int32, evidence PairSet, withMessages, allowSkip bool, prob Probabilistic) Job {
+	entities := cfg.Cover.Sets[id]
+	active := activeDecisions(cfg.Matcher, entities, evidence)
+	if allowSkip && active == 0 {
+		return Job{id: id, skipped: true}
+	}
+	t0 := time.Now()
+	mc := cfg.Matcher.Match(entities, evidence, cfg.Negative)
+	calls := 1
+	var msgs [][]Pair
+	if withMessages {
+		var probes int
+		msgs, probes = ComputeMaximal(prob, entities, evidence, cfg.Negative, mc)
+		calls += probes
+	}
+	return Job{
+		id:      id,
+		matches: mc,
+		msgs:    msgs,
+		active:  active,
+		dur:     time.Since(t0),
+		calls:   calls,
+	}
+}
+
 // mapNeighborhoods evaluates the given neighborhoods against a fixed
 // evidence snapshot, in parallel when cfg.Parallelism > 1, and returns
-// the per-neighborhood jobs in input order. The evidence set is only
-// read. withMessages additionally runs COMPUTEMAXIMAL per neighborhood
-// (prob must then be non-nil). allowSkip discharges neighborhoods with no
-// undecided in-scope pair without calling the matcher (re-activation
-// rounds only; see RunStats.Skips). A canceled ctx aborts the round;
-// started evaluations finish, queued ones are skipped.
-func mapNeighborhoods(ctx context.Context, cfg Config, ids []int32, evidence PairSet, withMessages, allowSkip bool, prob Probabilistic) ([]evalJob, error) {
-	jobs := make([]evalJob, len(ids))
+// the per-neighborhood jobs in input order. A canceled ctx aborts the
+// round; started evaluations finish, queued ones are skipped.
+func mapNeighborhoods(ctx context.Context, cfg Config, ids []int32, evidence PairSet, withMessages, allowSkip bool, prob Probabilistic) ([]Job, error) {
+	jobs := make([]Job, len(ids))
 	eval := func(i int) {
-		id := ids[i]
-		entities := cfg.Cover.Sets[id]
-		active := activeDecisions(cfg.Matcher, entities, evidence)
-		if allowSkip && active == 0 {
-			jobs[i] = evalJob{id: id, skipped: true}
-			return
-		}
-		t0 := time.Now()
-		mc := cfg.Matcher.Match(entities, evidence, cfg.Negative)
-		calls := 1
-		var msgs [][]Pair
-		if withMessages {
-			var probes int
-			msgs, probes = ComputeMaximal(prob, entities, evidence, cfg.Negative, mc)
-			calls += probes
-		}
-		jobs[i] = evalJob{
-			id:      id,
-			matches: mc,
-			msgs:    msgs,
-			active:  active,
-			dur:     time.Since(t0),
-			calls:   calls,
-		}
+		jobs[i] = evalNeighborhood(&cfg, ids[i], evidence, withMessages, allowSkip, prob)
 	}
 
 	workers := cfg.workers()
@@ -154,70 +158,12 @@ func (r *RoundReducer) Promote() {
 	}
 }
 
-// runRounds executes SMP or MMP (withMessages) as parallel rounds over
-// shared memory — the grid executor's Map/Reduce structure without the
-// simulated clock. Every round maps the active neighborhoods against a
-// snapshot of M+, then a central Reduce merges new matches (and, for
-// MMP, maximal messages, promoting sound ones per Algorithm 3 Step 7)
-// and derives the next active set from the affected neighborhoods.
-// Consistency (Theorems 2 and 4) makes the output equal to the serial
-// schedulers' for well-behaved matchers.
-func runRounds(ctx context.Context, cfg Config, scheme string, withMessages bool) (*Result, error) {
-	var prob Probabilistic
-	if withMessages {
-		prob = cfg.Matcher.(Probabilistic) // checked by MMP before dispatch
-	}
-	start := time.Now()
-	canSkip := prepareScopes(&cfg)
-	res := &Result{Scheme: scheme, Matches: NewPairSet()}
-	res.Stats.Neighborhoods = cfg.Cover.Len()
-
-	visits := make([]int, cfg.Cover.Len())
-	var store *MessageStore
-	if withMessages {
-		store = NewMessageStore()
-	}
-
-	active := allNeighborhoods(cfg.Cover.Len())
-	for round := 1; len(active) > 0; round++ {
-		// Round 1 visits every neighborhood for the first time; later
-		// rounds are re-activations, where undecided-free scopes may be
-		// discharged without a matcher call (candidate-closure matchers
-		// only; see ScopePreparer).
-		jobs, err := mapNeighborhoods(ctx, cfg, active, res.Matches, withMessages, canSkip && round > 1, prob)
-		if err != nil {
-			return nil, err
-		}
-
-		// Reduce: merge evidence, promote messages, emit progress.
-		red := NewRoundReducer(res.Matches, store, prob, &res.Stats)
-		for _, j := range jobs {
-			if j.skipped {
-				res.Stats.Skips++
-				continue
-			}
-			visits[j.id]++
-			res.Stats.Evaluations++
-			res.Stats.MatcherCalls += j.calls
-			res.Stats.MatcherTime += j.dur
-			res.Stats.ActiveSizes = append(res.Stats.ActiveSizes, j.active)
-			red.Add(j.matches, j.msgs)
-			cfg.emit(scheme, j.id, round, res)
-		}
-		red.Promote()
-		if len(red.New) == 0 {
-			break
-		}
-		affected := cfg.Cover.Affected(red.New, cfg.Relation)
-		res.Stats.MessagesSent += len(affected)
-		active = affected
-	}
-
-	for _, v := range visits {
-		if v > res.Stats.MaxRevisits {
-			res.Stats.MaxRevisits = v
-		}
-	}
-	res.Stats.Elapsed = time.Since(start)
-	return res, nil
+// runRounds executes SMP or MMP as parallel rounds over shared memory —
+// the grid executor's Map/Reduce structure without the simulated clock.
+// It is the historical entry point of the round executor; the loop now
+// lives in the Backend abstraction (backend.go) with the shared-memory
+// pool as its default implementation, so WithParallelism and WithBackend
+// run the exact same code.
+func runRounds(ctx context.Context, cfg Config, scheme string) (*Result, error) {
+	return RunBackend(ctx, cfg, scheme, PoolBackend{}, CheckpointConfig{})
 }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"slices"
+	"time"
+)
+
+// RoundDriver owns the central (Reduce) state of a round-based run: the
+// accumulated evidence, the maximal-message store, visit counts, run
+// statistics, the active set, and — when configured — the per-round
+// checkpoint trail. Backends drive it round by round; it is not safe for
+// concurrent use (reduce is central by design, as in the paper's §6.3
+// grid where a designated machine merges each round).
+type RoundDriver struct {
+	plan   *RoundPlan
+	res    *Result
+	visits []int
+	store  *MessageStore // MMP only
+	ckpt   *checkpointer // nil when not checkpointing
+
+	active  []int32
+	lastNew []Pair // the just-finished round's new pairs (reducer order)
+	round   int    // last completed round
+	done    bool
+
+	start time.Time
+	prior time.Duration // elapsed time credited by a resumed checkpoint
+}
+
+// newRoundDriver initializes the reduce state, loading a checkpoint
+// trail when ck requests a resume (an empty directory resumes into a
+// fresh run). A fresh checkpointing run clears any stale round files so
+// a later resume can never mix two runs.
+func newRoundDriver(plan *RoundPlan, ck CheckpointConfig) (*RoundDriver, error) {
+	d := &RoundDriver{plan: plan, start: time.Now()}
+	d.res = &Result{Scheme: plan.Scheme, Matches: NewPairSet()}
+	d.res.Stats.Neighborhoods = plan.Config.Cover.Len()
+	d.visits = make([]int, plan.Config.Cover.Len())
+	if plan.WithMessages {
+		d.store = NewMessageStore()
+	}
+	if ck.Dir != "" {
+		d.ckpt = &checkpointer{dir: ck.Dir, format: ck.Format, matcher: ck.Matcher}
+	}
+	if ck.Resume && d.ckpt != nil {
+		st, err := loadCheckpointState(ck.Dir, plan, ck.Matcher)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			d.res.Matches = st.matches
+			d.res.Stats = st.stats
+			d.visits = st.visits
+			for _, msg := range st.messages {
+				d.store.Add(msg)
+			}
+			d.active = st.active
+			d.round = st.round
+			d.done = st.done || len(st.active) == 0
+			d.prior = st.stats.Elapsed
+			return d, nil
+		}
+	} else if d.ckpt != nil {
+		if err := d.ckpt.clear(); err != nil {
+			return nil, err
+		}
+	}
+	d.active = allNeighborhoods(plan.Config.Cover.Len())
+	d.done = len(d.active) == 0
+	return d, nil
+}
+
+// Done reports whether the run has reached fixpoint (no active
+// neighborhoods remain).
+func (d *RoundDriver) Done() bool { return d.done }
+
+// Round returns the number of the round about to execute (1-based;
+// resumed runs continue counting where the checkpoint stopped).
+func (d *RoundDriver) Round() int { return d.round + 1 }
+
+// Active returns the ids to evaluate this round, in ascending order.
+// Backends must treat the slice as read-only.
+func (d *RoundDriver) Active() []int32 { return d.active }
+
+// Snapshot returns the evidence snapshot for the round about to
+// execute: the accumulated M+ for evidence-exchanging schemes, nil for
+// NO-MP (whose matcher contract is evidence-free first visits). The set
+// is only valid to read until FinishRound is called.
+func (d *RoundDriver) Snapshot() PairSet {
+	if !d.plan.Exchange {
+		return nil
+	}
+	return d.res.Matches
+}
+
+// AllowSkip reports whether this round's evaluations may discharge
+// undecided-free neighborhoods without a matcher call: only past round
+// 1 (every id is then a re-activation) and only for candidate-closure
+// matchers. Resumed runs inherit the property because their round
+// counter continues from the checkpoint.
+func (d *RoundDriver) AllowSkip() bool {
+	return d.plan.CanSkip && d.Round() > 1
+}
+
+// Evaluate runs one neighborhood of the current round against the
+// driver's own snapshot — the single-node convenience for custom
+// backends that schedule work but do not distribute state.
+func (d *RoundDriver) Evaluate(id int32) Job {
+	return evalNeighborhood(&d.plan.Config, id, d.Snapshot(), d.plan.WithMessages, d.AllowSkip(), d.plan.Prob)
+}
+
+// FinishRound is the central Reduce of one round: it merges the jobs'
+// matches (and maximal messages) into the global state in active-set
+// order, promotes sound messages (Algorithm 3 Step 7), derives the next
+// active set from the affected neighborhoods, and persists a checkpoint
+// when configured. jobs must be in Active() order, evaluated against
+// the round-start Snapshot. The round's evidence delta is available
+// from RoundDelta afterwards.
+func (d *RoundDriver) FinishRound(jobs []Job) error {
+	round := d.round + 1
+	red := NewRoundReducer(d.res.Matches, d.store, d.plan.Prob, &d.res.Stats)
+	for _, j := range jobs {
+		if j.skipped {
+			d.res.Stats.Skips++
+			continue
+		}
+		d.visits[j.id]++
+		d.res.Stats.Evaluations++
+		d.res.Stats.MatcherCalls += j.calls
+		d.res.Stats.MatcherTime += j.dur
+		d.res.Stats.ActiveSizes = append(d.res.Stats.ActiveSizes, j.active)
+		red.Add(j.matches, j.msgs)
+		d.plan.Config.emit(d.plan.Scheme, j.id, round, d.res)
+	}
+	red.Promote()
+	d.round = round
+	d.lastNew = red.New
+
+	switch {
+	case !d.plan.Exchange, len(red.New) == 0:
+		d.active, d.done = nil, true
+	default:
+		affected := d.plan.Config.Cover.Affected(red.New, d.plan.Config.Relation)
+		d.res.Stats.MessagesSent += len(affected)
+		d.active = affected
+	}
+
+	if d.ckpt != nil {
+		d.res.Stats.Elapsed = d.prior + time.Since(d.start) // running elapsed, persisted
+		if err := d.ckpt.write(d, d.RoundDelta()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoundDelta returns the just-finished round's evidence delta (new
+// matches plus promotions) in ascending PairKey order — the canonical
+// batch a distributed backend broadcasts to its shards. Computed on
+// demand: the default pool path shares memory and never asks.
+func (d *RoundDriver) RoundDelta() []PairKey {
+	delta := make([]PairKey, len(d.lastNew))
+	for i, p := range d.lastNew {
+		delta[i] = p.Key()
+	}
+	slices.Sort(delta)
+	return delta
+}
+
+// finish seals the result (max revisits, wall clock) and returns it.
+func (d *RoundDriver) finish() *Result {
+	for _, v := range d.visits {
+		if v > d.res.Stats.MaxRevisits {
+			d.res.Stats.MaxRevisits = v
+		}
+	}
+	d.res.Stats.Elapsed = d.prior + time.Since(d.start)
+	return d.res
+}
+
+// RunBackend executes a neighborhood scheme ("NO-MP", "SMP", "MMP") on
+// the given execution backend, with optional round-boundary
+// checkpointing (ck.Dir) and resume (ck.Resume). Resuming a directory
+// whose run already completed rebuilds the result from the checkpoint
+// trail without evaluating anything.
+func RunBackend(ctx context.Context, cfg Config, scheme string, b Backend, ck CheckpointConfig) (*Result, error) {
+	plan, err := newRoundPlan(cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	d, err := newRoundDriver(plan, ck)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Done() {
+		if err := b.RunRounds(ctx, plan, d); err != nil {
+			return nil, err
+		}
+	}
+	return d.finish(), nil
+}

@@ -135,7 +135,7 @@ func Full(ctx context.Context, cfg Config) (*Result, error) {
 // consistency makes the output identical.
 func SMP(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.workers() > 1 {
-		return runRounds(ctx, cfg, "SMP", false)
+		return runRounds(ctx, cfg, "SMP")
 	}
 	start := time.Now()
 	canSkip := prepareScopes(&cfg)

@@ -1,0 +1,463 @@
+// Package wire defines the serialized message formats exchanged by the
+// sharded execution backend and persisted by the checkpoint/resume
+// machinery: evidence deltas, per-shard round results, and round
+// checkpoints. Pair sets travel as packed PairKey uint64 batches in
+// strictly increasing key order (key order = (A, then B) pair order), so
+// a delta batch is canonical: two equal sets always serialize to the
+// same bytes.
+//
+// Two interchangeable codecs are provided. The binary codec (magic
+// "CEMW") is the compact default: varint fields with sorted key lists
+// difference-encoded, typically several times smaller than JSON. The
+// JSON codec is self-describing and diffable, for debugging and
+// cross-tool interchange. Decoding sniffs the format from the leading
+// bytes, so readers accept either; both codecs carry the same format
+// version and message type tags, and decoding validates structural
+// invariants (sorted keys, valid normalized pairs, non-negative
+// counters) so corrupt or foreign input is reported as an error rather
+// than smuggled into the engine.
+//
+// The package deliberately depends on nothing inside the engine: keys
+// are plain uint64s and ids plain int32s, so the wire format is stable
+// against internal refactors and usable by external tooling.
+package wire
+
+import (
+	"fmt"
+	"time"
+	"unicode/utf8"
+)
+
+// Format selects a codec.
+type Format int
+
+const (
+	// Binary is the compact varint codec (magic "CEMW"). Default.
+	Binary Format = iota
+	// JSON is the self-describing textual codec.
+	JSON
+)
+
+// Version is the wire-format version stamped into every message. Readers
+// reject versions they do not know.
+const Version = 1
+
+// Message type tags (binary: one byte after the version; JSON: the
+// "type" field).
+const (
+	typeDelta      = 1
+	typeShardBatch = 2
+	typeCheckpoint = 3
+)
+
+// Delta is one round's evidence delta: the pairs newly decided in that
+// round, as packed PairKeys in strictly increasing order. This is the
+// only message that ever carries evidence between shards — shards hold
+// no shared mutable state, they converge by applying the same deltas.
+type Delta struct {
+	Round int      `json:"round"`
+	Keys  []uint64 `json:"keys"` // strictly increasing valid PairKeys
+}
+
+// Job is the serialized outcome of one neighborhood evaluation, the
+// per-neighborhood payload of a ShardBatch. Matches are sorted PairKeys;
+// Msgs are the neighborhood's maximal messages (MMP only), order- and
+// grouping-preserving (promotion scans them in generation order).
+type Job struct {
+	ID      int32      `json:"id"`
+	Skipped bool       `json:"skipped,omitempty"`
+	Active  int        `json:"active"`
+	Calls   int        `json:"calls"`
+	Dur     int64      `json:"dur_ns"`
+	Matches []uint64   `json:"matches"`
+	Msgs    [][]uint64 `json:"msgs,omitempty"`
+}
+
+// ShardBatch is one shard's serialized output for one round: the
+// evaluations of every active neighborhood owned by the shard, in the
+// shard's deterministic evaluation order.
+type ShardBatch struct {
+	Round int   `json:"round"`
+	Shard int   `json:"shard"`
+	Jobs  []Job `json:"jobs"`
+}
+
+// Stats mirrors the engine's RunStats in wire-stable form (durations as
+// nanoseconds).
+type Stats struct {
+	Neighborhoods   int   `json:"neighborhoods"`
+	MatcherCalls    int   `json:"matcher_calls"`
+	Evaluations     int   `json:"evaluations"`
+	MaxRevisits     int   `json:"max_revisits"`
+	MessagesSent    int   `json:"messages_sent"`
+	MaximalMessages int   `json:"maximal_messages"`
+	PromotedSets    int   `json:"promoted_sets"`
+	ScoreChecks     int   `json:"score_checks"`
+	Skips           int   `json:"skips"`
+	ElapsedNS       int64 `json:"elapsed_ns"`
+	MatcherTimeNS   int64 `json:"matcher_time_ns"`
+	ActiveSizes     []int `json:"active_sizes"`
+}
+
+// Checkpoint is the durable record written after every completed round:
+// the round's evidence delta plus everything needed to restart the run
+// at the next round boundary (the next active set, the outstanding
+// maximal messages, per-neighborhood visit counts, and the running
+// statistics). Replaying Delta of rounds 1..r rebuilds the evidence set
+// exactly; the remaining fields come from the latest record alone.
+//
+// Scheme, Matcher, Neighborhoods and Entities fingerprint the run:
+// resuming against a different scheme, matcher or cover is rejected
+// (Matcher is a caller-chosen label, e.g. the registry name; empty
+// opts out of the matcher check for anonymous matchers).
+type Checkpoint struct {
+	Scheme        string     `json:"scheme"`
+	Matcher       string     `json:"matcher,omitempty"`
+	Neighborhoods int        `json:"neighborhoods"`
+	Entities      int        `json:"entities"`
+	Round         int        `json:"round"`
+	Done          bool       `json:"done,omitempty"`
+	Delta         []uint64   `json:"delta"`  // strictly increasing
+	Active        []int32    `json:"active"` // next round's active set, ascending
+	Messages      [][]uint64 `json:"messages,omitempty"`
+	Visits        []int      `json:"visits"`
+	Stats         Stats      `json:"stats"`
+}
+
+// Duration returns the job's matcher time.
+func (j *Job) Duration() time.Duration { return time.Duration(j.Dur) }
+
+// validKey reports whether k packs a normalized non-reflexive pair of
+// non-negative int32 ids (A < B).
+func validKey(k uint64) bool {
+	a, b := uint32(k>>32), uint32(k)
+	return a < b && b < 1<<31
+}
+
+// checkSortedKeys validates a strictly-increasing valid key batch.
+func checkSortedKeys(field string, keys []uint64) error {
+	for i, k := range keys {
+		if !validKey(k) {
+			return fmt.Errorf("wire: %s[%d]: invalid pair key %#x", field, i, k)
+		}
+		if i > 0 && keys[i-1] >= k {
+			return fmt.Errorf("wire: %s not strictly increasing at %d", field, i)
+		}
+	}
+	return nil
+}
+
+// checkKeys validates a key batch that need not be sorted (message
+// groups preserve generation order).
+func checkKeys(field string, keys []uint64) error {
+	for i, k := range keys {
+		if !validKey(k) {
+			return fmt.Errorf("wire: %s[%d]: invalid pair key %#x", field, i, k)
+		}
+	}
+	return nil
+}
+
+func nonNegative(field string, vs ...int64) error {
+	for _, v := range vs {
+		if v < 0 {
+			return fmt.Errorf("wire: %s is negative (%d)", field, v)
+		}
+	}
+	return nil
+}
+
+// validate checks the structural invariants shared by both codecs.
+func (d *Delta) validate() error {
+	if err := nonNegative("delta.round", int64(d.Round)); err != nil {
+		return err
+	}
+	return checkSortedKeys("delta.keys", d.Keys)
+}
+
+func (b *ShardBatch) validate() error {
+	if err := nonNegative("batch.round/shard", int64(b.Round), int64(b.Shard)); err != nil {
+		return err
+	}
+	for i := range b.Jobs {
+		j := &b.Jobs[i]
+		if err := nonNegative("batch.job counters", int64(j.ID), int64(j.Active), int64(j.Calls), j.Dur); err != nil {
+			return err
+		}
+		if err := checkSortedKeys("batch.job.matches", j.Matches); err != nil {
+			return err
+		}
+		for _, msg := range j.Msgs {
+			if err := checkKeys("batch.job.msgs", msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Checkpoint) validate() error {
+	if !utf8.ValidString(c.Scheme) {
+		return fmt.Errorf("wire: checkpoint.scheme is not valid UTF-8")
+	}
+	if !utf8.ValidString(c.Matcher) {
+		return fmt.Errorf("wire: checkpoint.matcher is not valid UTF-8")
+	}
+	if err := nonNegative("checkpoint counters",
+		int64(c.Round), int64(c.Neighborhoods), int64(c.Entities)); err != nil {
+		return err
+	}
+	if err := checkSortedKeys("checkpoint.delta", c.Delta); err != nil {
+		return err
+	}
+	for i, id := range c.Active {
+		if id < 0 || int(id) >= c.Neighborhoods {
+			return fmt.Errorf("wire: checkpoint.active[%d] = %d out of range [0,%d)", i, id, c.Neighborhoods)
+		}
+		if i > 0 && c.Active[i-1] >= id {
+			return fmt.Errorf("wire: checkpoint.active not strictly increasing at %d", i)
+		}
+	}
+	for _, msg := range c.Messages {
+		if err := checkKeys("checkpoint.messages", msg); err != nil {
+			return err
+		}
+	}
+	if len(c.Visits) != c.Neighborhoods {
+		return fmt.Errorf("wire: checkpoint has %d visit counts for %d neighborhoods", len(c.Visits), c.Neighborhoods)
+	}
+	for i, v := range c.Visits {
+		if v < 0 {
+			return fmt.Errorf("wire: checkpoint.visits[%d] is negative", i)
+		}
+	}
+	s := &c.Stats
+	if err := nonNegative("checkpoint.stats",
+		int64(s.Neighborhoods), int64(s.MatcherCalls), int64(s.Evaluations),
+		int64(s.MaxRevisits), int64(s.MessagesSent), int64(s.MaximalMessages),
+		int64(s.PromotedSets), int64(s.ScoreChecks), int64(s.Skips),
+		s.ElapsedNS, s.MatcherTimeNS); err != nil {
+		return err
+	}
+	for i, a := range s.ActiveSizes {
+		if a < 0 {
+			return fmt.Errorf("wire: checkpoint.stats.active_sizes[%d] is negative", i)
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the delta in the given format.
+func (d *Delta) Marshal(f Format) ([]byte, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if f == JSON {
+		return marshalJSON(typeDelta, d)
+	}
+	e := newEncoder(typeDelta)
+	e.uvarint(uint64(d.Round))
+	e.sortedKeys(d.Keys)
+	return e.bytes(), nil
+}
+
+// Marshal serializes the batch in the given format.
+func (b *ShardBatch) Marshal(f Format) ([]byte, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if f == JSON {
+		return marshalJSON(typeShardBatch, b)
+	}
+	e := newEncoder(typeShardBatch)
+	e.uvarint(uint64(b.Round))
+	e.uvarint(uint64(b.Shard))
+	e.uvarint(uint64(len(b.Jobs)))
+	for i := range b.Jobs {
+		j := &b.Jobs[i]
+		e.uvarint(uint64(j.ID))
+		if j.Skipped {
+			e.uvarint(1)
+		} else {
+			e.uvarint(0)
+		}
+		e.uvarint(uint64(j.Active))
+		e.uvarint(uint64(j.Calls))
+		e.uvarint(uint64(j.Dur))
+		e.sortedKeys(j.Matches)
+		e.keyGroups(j.Msgs)
+	}
+	return e.bytes(), nil
+}
+
+// Marshal serializes the checkpoint in the given format.
+func (c *Checkpoint) Marshal(f Format) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if f == JSON {
+		return marshalJSON(typeCheckpoint, c)
+	}
+	e := newEncoder(typeCheckpoint)
+	e.str(c.Scheme)
+	e.str(c.Matcher)
+	e.uvarint(uint64(c.Neighborhoods))
+	e.uvarint(uint64(c.Entities))
+	e.uvarint(uint64(c.Round))
+	if c.Done {
+		e.uvarint(1)
+	} else {
+		e.uvarint(0)
+	}
+	e.sortedKeys(c.Delta)
+	e.uvarint(uint64(len(c.Active)))
+	prev := int32(-1)
+	for _, id := range c.Active {
+		e.uvarint(uint64(id - prev)) // ascending: difference-encode
+		prev = id
+	}
+	e.keyGroups(c.Messages)
+	e.uvarint(uint64(len(c.Visits)))
+	for _, v := range c.Visits {
+		e.uvarint(uint64(v))
+	}
+	s := &c.Stats
+	e.uvarint(uint64(s.Neighborhoods))
+	e.uvarint(uint64(s.MatcherCalls))
+	e.uvarint(uint64(s.Evaluations))
+	e.uvarint(uint64(s.MaxRevisits))
+	e.uvarint(uint64(s.MessagesSent))
+	e.uvarint(uint64(s.MaximalMessages))
+	e.uvarint(uint64(s.PromotedSets))
+	e.uvarint(uint64(s.ScoreChecks))
+	e.uvarint(uint64(s.Skips))
+	e.uvarint(uint64(s.ElapsedNS))
+	e.uvarint(uint64(s.MatcherTimeNS))
+	e.uvarint(uint64(len(s.ActiveSizes)))
+	for _, a := range s.ActiveSizes {
+		e.uvarint(uint64(a))
+	}
+	return e.bytes(), nil
+}
+
+// UnmarshalDelta decodes a Delta, sniffing the codec from the leading
+// bytes and validating structure.
+func UnmarshalDelta(b []byte) (*Delta, error) {
+	var d Delta
+	if isBinary(b) {
+		dec, err := newDecoder(b, typeDelta)
+		if err != nil {
+			return nil, err
+		}
+		d.Round = int(dec.uvarint("round"))
+		d.Keys = dec.sortedKeys("keys")
+		if err := dec.finish(); err != nil {
+			return nil, err
+		}
+	} else if err := unmarshalJSON(b, typeDelta, &d); err != nil {
+		return nil, err
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// UnmarshalShardBatch decodes a ShardBatch (either codec).
+func UnmarshalShardBatch(b []byte) (*ShardBatch, error) {
+	var sb ShardBatch
+	if isBinary(b) {
+		dec, err := newDecoder(b, typeShardBatch)
+		if err != nil {
+			return nil, err
+		}
+		sb.Round = int(dec.uvarint("round"))
+		sb.Shard = int(dec.uvarint("shard"))
+		n := dec.count("jobs")
+		sb.Jobs = make([]Job, n)
+		for i := range sb.Jobs {
+			j := &sb.Jobs[i]
+			j.ID = int32(dec.uvarint("job.id"))
+			j.Skipped = dec.uvarint("job.skipped") != 0
+			j.Active = int(dec.uvarint("job.active"))
+			j.Calls = int(dec.uvarint("job.calls"))
+			j.Dur = int64(dec.uvarint("job.dur"))
+			j.Matches = dec.sortedKeys("job.matches")
+			j.Msgs = dec.keyGroups("job.msgs")
+		}
+		if err := dec.finish(); err != nil {
+			return nil, err
+		}
+	} else if err := unmarshalJSON(b, typeShardBatch, &sb); err != nil {
+		return nil, err
+	}
+	if err := sb.validate(); err != nil {
+		return nil, err
+	}
+	return &sb, nil
+}
+
+// UnmarshalCheckpoint decodes a Checkpoint (either codec).
+func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if isBinary(b) {
+		dec, err := newDecoder(b, typeCheckpoint)
+		if err != nil {
+			return nil, err
+		}
+		c.Scheme = dec.str("scheme")
+		c.Matcher = dec.str("matcher")
+		c.Neighborhoods = int(dec.uvarint("neighborhoods"))
+		c.Entities = int(dec.uvarint("entities"))
+		c.Round = int(dec.uvarint("round"))
+		c.Done = dec.uvarint("done") != 0
+		c.Delta = dec.sortedKeys("delta")
+		n := dec.count("active")
+		if n > 0 {
+			c.Active = make([]int32, n)
+			prev := int64(-1)
+			for i := range c.Active {
+				prev += int64(dec.uvarint("active"))
+				if prev > int64(1)<<31-1 {
+					dec.fail("active", "id overflows int32")
+					prev = 0
+				}
+				c.Active[i] = int32(prev)
+			}
+		}
+		c.Messages = dec.keyGroups("messages")
+		nv := dec.count("visits")
+		c.Visits = make([]int, nv)
+		for i := range c.Visits {
+			c.Visits[i] = int(dec.uvarint("visits"))
+		}
+		s := &c.Stats
+		s.Neighborhoods = int(dec.uvarint("stats"))
+		s.MatcherCalls = int(dec.uvarint("stats"))
+		s.Evaluations = int(dec.uvarint("stats"))
+		s.MaxRevisits = int(dec.uvarint("stats"))
+		s.MessagesSent = int(dec.uvarint("stats"))
+		s.MaximalMessages = int(dec.uvarint("stats"))
+		s.PromotedSets = int(dec.uvarint("stats"))
+		s.ScoreChecks = int(dec.uvarint("stats"))
+		s.Skips = int(dec.uvarint("stats"))
+		s.ElapsedNS = int64(dec.uvarint("stats"))
+		s.MatcherTimeNS = int64(dec.uvarint("stats"))
+		na := dec.count("stats.active_sizes")
+		if na > 0 {
+			s.ActiveSizes = make([]int, na)
+			for i := range s.ActiveSizes {
+				s.ActiveSizes[i] = int(dec.uvarint("stats.active_sizes"))
+			}
+		}
+		if err := dec.finish(); err != nil {
+			return nil, err
+		}
+	} else if err := unmarshalJSON(b, typeCheckpoint, &c); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

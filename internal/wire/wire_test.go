@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randKeys produces n strictly increasing valid pair keys.
+func randKeys(rng *rand.Rand, n int) []uint64 {
+	set := map[uint64]struct{}{}
+	for len(set) < n {
+		a := rng.Int31n(1000)
+		b := rng.Int31n(1000)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		set[uint64(a)<<32|uint64(uint32(b))] = struct{}{}
+	}
+	keys := make([]uint64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// randGroups produces unordered key groups (maximal-message shaped).
+func randGroups(rng *rand.Rand, n int) [][]uint64 {
+	if n == 0 {
+		return nil
+	}
+	groups := make([][]uint64, n)
+	for i := range groups {
+		g := randKeys(rng, 1+rng.Intn(5))
+		rng.Shuffle(len(g), func(a, b int) { g[a], g[b] = g[b], g[a] })
+		groups[i] = g
+	}
+	return groups
+}
+
+func randDelta(rng *rand.Rand) *Delta {
+	return &Delta{Round: rng.Intn(100), Keys: randKeys(rng, rng.Intn(50))}
+}
+
+func randBatch(rng *rand.Rand) *ShardBatch {
+	b := &ShardBatch{Round: rng.Intn(100), Shard: rng.Intn(16)}
+	for i := 0; i < rng.Intn(8); i++ {
+		b.Jobs = append(b.Jobs, Job{
+			ID:      rng.Int31n(500),
+			Skipped: rng.Intn(4) == 0,
+			Active:  rng.Intn(40),
+			Calls:   rng.Intn(10),
+			Dur:     rng.Int63n(1e9),
+			Matches: randKeys(rng, rng.Intn(20)),
+			Msgs:    randGroups(rng, rng.Intn(3)),
+		})
+	}
+	return b
+}
+
+func randCheckpoint(rng *rand.Rand) *Checkpoint {
+	n := 1 + rng.Intn(40)
+	c := &Checkpoint{
+		Scheme:        []string{"SMP", "MMP", "NO-MP"}[rng.Intn(3)],
+		Neighborhoods: n,
+		Entities:      n * 3,
+		Round:         1 + rng.Intn(10),
+		Done:          rng.Intn(2) == 0,
+		Delta:         randKeys(rng, rng.Intn(30)),
+		Messages:      randGroups(rng, rng.Intn(4)),
+		Visits:        make([]int, n),
+	}
+	for i := range c.Visits {
+		c.Visits[i] = rng.Intn(5)
+	}
+	for id := 0; id < n; id++ {
+		if rng.Intn(3) == 0 {
+			c.Active = append(c.Active, int32(id))
+		}
+	}
+	c.Stats = Stats{
+		Neighborhoods: n,
+		MatcherCalls:  rng.Intn(1000),
+		Evaluations:   rng.Intn(1000),
+		MaxRevisits:   rng.Intn(10),
+		MessagesSent:  rng.Intn(1000),
+		ScoreChecks:   rng.Intn(100),
+		Skips:         rng.Intn(50),
+		ElapsedNS:     rng.Int63n(1e12),
+		MatcherTimeNS: rng.Int63n(1e12),
+	}
+	for i := 0; i < rng.Intn(20); i++ {
+		c.Stats.ActiveSizes = append(c.Stats.ActiveSizes, rng.Intn(100))
+	}
+	return c
+}
+
+// TestRoundTripProperty: for randomly generated messages, both codecs
+// round-trip to an identical value, and the two codecs decode to the
+// same value as each other.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		d := randDelta(rng)
+		roundTrip(t, d,
+			func(f Format) ([]byte, error) { return d.Marshal(f) },
+			func(b []byte) (any, error) { return UnmarshalDelta(b) })
+
+		sb := randBatch(rng)
+		roundTrip(t, sb,
+			func(f Format) ([]byte, error) { return sb.Marshal(f) },
+			func(b []byte) (any, error) { return UnmarshalShardBatch(b) })
+
+		c := randCheckpoint(rng)
+		roundTrip(t, c,
+			func(f Format) ([]byte, error) { return c.Marshal(f) },
+			func(b []byte) (any, error) { return UnmarshalCheckpoint(b) })
+	}
+}
+
+func roundTrip(t *testing.T, want any, marshal func(Format) ([]byte, error), unmarshal func([]byte) (any, error)) {
+	t.Helper()
+	var decoded []any
+	for _, f := range []Format{Binary, JSON} {
+		b, err := marshal(f)
+		if err != nil {
+			t.Fatalf("marshal(%v): %v", f, err)
+		}
+		got, err := unmarshal(b)
+		if err != nil {
+			t.Fatalf("unmarshal(%v): %v\ninput: %q", f, err, b)
+		}
+		if !equalMsg(got, want) {
+			t.Fatalf("round trip through %v diverged:\ngot:  %+v\nwant: %+v", f, got, want)
+		}
+		decoded = append(decoded, got)
+	}
+	if !reflect.DeepEqual(normalize(decoded[0]), normalize(decoded[1])) {
+		t.Fatalf("binary and JSON decode disagree:\nbinary: %+v\njson:   %+v", decoded[0], decoded[1])
+	}
+}
+
+// equalMsg compares ignoring nil-vs-empty slice differences (JSON decodes
+// empty lists as empty non-nil slices; binary as nil).
+func equalMsg(got, want any) bool {
+	return reflect.DeepEqual(normalize(got), normalize(want))
+}
+
+func normalize(v any) any {
+	switch m := v.(type) {
+	case *Delta:
+		c := *m
+		c.Keys = normKeys(c.Keys)
+		return c
+	case *ShardBatch:
+		c := *m
+		c.Jobs = append([]Job(nil), c.Jobs...)
+		if len(c.Jobs) == 0 {
+			c.Jobs = nil
+		}
+		for i := range c.Jobs {
+			c.Jobs[i].Matches = normKeys(c.Jobs[i].Matches)
+			c.Jobs[i].Msgs = normGroups(c.Jobs[i].Msgs)
+		}
+		return c
+	case *Checkpoint:
+		c := *m
+		c.Delta = normKeys(c.Delta)
+		c.Messages = normGroups(c.Messages)
+		if len(c.Active) == 0 {
+			c.Active = nil
+		}
+		if len(c.Visits) == 0 {
+			c.Visits = nil
+		}
+		if len(c.Stats.ActiveSizes) == 0 {
+			c.Stats.ActiveSizes = nil
+		}
+		return c
+	}
+	return v
+}
+
+func normKeys(k []uint64) []uint64 {
+	if len(k) == 0 {
+		return nil
+	}
+	return k
+}
+
+func normGroups(g [][]uint64) [][]uint64 {
+	if len(g) == 0 {
+		return nil
+	}
+	out := make([][]uint64, len(g))
+	for i := range g {
+		out[i] = normKeys(g[i])
+	}
+	return out
+}
+
+// TestBinaryCompact: the binary codec should beat JSON by a wide margin
+// on realistic delta batches (the whole point of difference-encoding).
+func TestBinaryCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := &Delta{Round: 3, Keys: randKeys(rng, 500)}
+	bin, err := d.Marshal(Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := d.Marshal(JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin)*2 > len(js) {
+		t.Errorf("binary delta not compact: %d bytes binary vs %d JSON", len(bin), len(js))
+	}
+}
+
+// TestRejectsInvalid: structurally invalid messages fail to decode (and
+// to encode) in both codecs.
+func TestRejectsInvalid(t *testing.T) {
+	if _, err := (&Delta{Keys: []uint64{5}}).Marshal(Binary); err != nil {
+		t.Errorf("key 5 = pair (0,5) should be valid, got %v", err)
+	}
+	bad := []*Delta{
+		{Keys: []uint64{uint64(7)<<32 | 7}},             // reflexive pair
+		{Keys: []uint64{uint64(9)<<32 | 4}},             // unnormalized (A > B)
+		{Keys: []uint64{uint64(1)<<32 | 2, 1<<32 | 2}},  // duplicate
+		{Keys: []uint64{uint64(2)<<32 | 3, 1<<32 | 5}},  // unsorted
+		{Keys: []uint64{uint64(1)<<32 | uint64(1)<<31}}, // B overflows int32
+		{Round: -1, Keys: []uint64{uint64(1)<<32 | 2}},  // negative round
+	}
+	for _, d := range bad {
+		if _, err := d.Marshal(Binary); err == nil {
+			t.Errorf("Marshal accepted invalid delta %+v", d)
+		}
+	}
+	if _, err := UnmarshalDelta([]byte(`{"cemw":1,"type":1,"msg":{"round":1,"keys":[18446744073709551615]}}`)); err == nil {
+		t.Error("UnmarshalDelta accepted an invalid key via JSON")
+	}
+	if _, err := UnmarshalDelta([]byte(`{"cemw":2,"type":1,"msg":{"round":1,"keys":[]}}`)); err == nil {
+		t.Error("UnmarshalDelta accepted a future version")
+	}
+	if _, err := UnmarshalDelta([]byte(`{"cemw":1,"type":3,"msg":{}}`)); err == nil {
+		t.Error("UnmarshalDelta accepted a checkpoint-typed message")
+	}
+	// A checkpoint whose visit count disagrees with the neighborhood count.
+	if _, err := UnmarshalCheckpoint([]byte(`{"cemw":1,"type":3,"msg":{"scheme":"SMP","neighborhoods":3,"entities":9,"round":1,"delta":[],"active":[],"visits":[1],"stats":{"neighborhoods":3,"matcher_calls":0,"evaluations":0,"max_revisits":0,"messages_sent":0,"maximal_messages":0,"promoted_sets":0,"score_checks":0,"skips":0,"elapsed_ns":0,"matcher_time_ns":0,"active_sizes":[]}}}`)); err == nil {
+		t.Error("UnmarshalCheckpoint accepted mismatched visits length")
+	}
+}
+
+// TestTruncatedBinary: every prefix of a valid binary message must fail
+// cleanly, never panic.
+func TestTruncatedBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randCheckpoint(rng)
+	b, err := c.Marshal(Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(b); i++ {
+		if _, err := UnmarshalCheckpoint(b[:i]); err == nil {
+			t.Fatalf("accepted truncated message at %d/%d bytes", i, len(b))
+		}
+	}
+	if _, err := UnmarshalCheckpoint(append(append([]byte{}, b...), 0)); err == nil {
+		t.Fatal("accepted trailing garbage")
+	}
+}

@@ -85,6 +85,28 @@ const (
 	OrderLargestFirst  = core.OrderLargestFirst
 )
 
+// Backend executes the rounds of a message-passing scheme: it owns the
+// Map side (where each round's active neighborhoods are evaluated),
+// while the engine's RoundDriver owns the central Reduce (evidence
+// merge, message promotion, re-activation, checkpointing). Built-in
+// backends: the shared-memory worker pool (default) and the
+// shard-partitioned backend exchanging serialized evidence deltas.
+// Select one with cem.WithBackend or cem.NewBackend; custom backends
+// drive the RoundDriver's Evaluate/FinishRound cycle.
+type Backend = core.Backend
+
+// RoundPlan is the immutable description of a round-based run handed to
+// a Backend (scheme, cover, matcher, configuration).
+type RoundPlan = core.RoundPlan
+
+// RoundDriver is the engine's central reduce state, driven round by
+// round by a Backend.
+type RoundDriver = core.RoundDriver
+
+// Job is the outcome of one neighborhood evaluation, produced by
+// RoundDriver.Evaluate and consumed by RoundDriver.FinishRound.
+type Job = core.Job
+
 // Dataset is a bibliographic corpus: papers, author references, and
 // (for synthetic corpora) ground-truth author ids.
 type Dataset = bib.Dataset

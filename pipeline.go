@@ -154,6 +154,21 @@ type PipelineResult struct {
 // both the blocking stage (between sharded scoring rounds) and the
 // matching stage (between neighborhood evaluations).
 func (p *Pipeline) Run(ctx context.Context, records []Record) (*PipelineResult, error) {
+	return p.run(ctx, records, false)
+}
+
+// Resume re-runs the pipeline on the same records but continues the
+// matching stage from the checkpoint trail configured via
+// WithRunnerOptions(WithCheckpointDir(dir)) — the recovery path for a
+// pipeline killed mid-matching. Blocking is deterministic for any shard
+// count, so re-running it reconstructs the identical cover the trail
+// was written against; the matching stage then picks up at the first
+// unfinished round.
+func (p *Pipeline) Resume(ctx context.Context, records []Record) (*PipelineResult, error) {
+	return p.run(ctx, records, true)
+}
+
+func (p *Pipeline) run(ctx context.Context, records []Record, resume bool) (*PipelineResult, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("cem: pipeline: no records")
 	}
@@ -183,7 +198,12 @@ func (p *Pipeline) Run(ctx context.Context, records []Record) (*PipelineResult, 
 		return nil, err
 	}
 	start = time.Now()
-	res, err := runner.Run(ctx, p.scheme)
+	var res *Result
+	if resume {
+		res, err = runner.Resume(ctx, p.scheme)
+	} else {
+		res, err = runner.Run(ctx, p.scheme)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package cem
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/mln"
 	"repro/internal/rules"
 	"repro/match"
@@ -69,9 +71,81 @@ func lookupMatcher(name string) (MatcherFactory, bool) {
 	return f, ok
 }
 
-// The built-in matchers register through the same public path as
-// third-party ones.
+// NewPoolBackend returns the default execution backend: rounds mapped
+// on an in-process worker pool over shared memory, with the worker count
+// taken from WithParallelism.
+func NewPoolBackend() match.Backend { return core.PoolBackend{} }
+
+// NewShardedBackend returns the shard-partitioned execution backend:
+// the cover's neighborhoods are split across k shards (k < 1 means one
+// per CPU), each evaluating against a private evidence replica and an
+// immutable ground-model snapshot; shards exchange evidence exclusively
+// as serialized PairKey-ordered delta batches, never sharing mutable
+// state. Output is identical to the pool backend for every k.
+func NewShardedBackend(k int) match.Backend { return &core.ShardedBackend{Shards: k} }
+
+// BackendFactory builds an execution backend. shards is the partition
+// count for partitioned backends (< 1 means one per CPU); backends
+// without partitions ignore it.
+type BackendFactory func(shards int) (match.Backend, error)
+
+var (
+	backendMu       sync.RWMutex
+	backendRegistry = map[string]BackendFactory{}
+)
+
+// RegisterBackend makes an execution backend available by name (to
+// WithBackend call sites that select backends from configuration, and
+// to the emmatch -backend flag). Like RegisterMatcher it panics on an
+// empty name, a nil factory, or a duplicate registration.
+func RegisterBackend(name string, factory BackendFactory) {
+	if name == "" {
+		panic("cem: RegisterBackend with empty name")
+	}
+	if factory == nil {
+		panic("cem: RegisterBackend with nil factory for " + name)
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendRegistry[name]; dup {
+		panic("cem: RegisterBackend called twice for " + name)
+	}
+	backendRegistry[name] = factory
+}
+
+// Backends returns the sorted names of all registered execution
+// backends.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendRegistry))
+	for name := range backendRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewBackend builds a registered backend by name.
+func NewBackend(name string, shards int) (match.Backend, error) {
+	backendMu.RLock()
+	factory, ok := backendRegistry[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cem: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return factory(shards)
+}
+
+// The built-in matchers and backends register through the same public
+// path as third-party ones.
 func init() {
+	RegisterBackend("pool", func(int) (match.Backend, error) {
+		return NewPoolBackend(), nil
+	})
+	RegisterBackend("sharded", func(shards int) (match.Backend, error) {
+		return NewShardedBackend(shards), nil
+	})
 	RegisterMatcher(MatcherMLN, func(mc MatcherContext) (match.Matcher, error) {
 		cands := make([]mln.Candidate, len(mc.Candidates))
 		for i, c := range mc.Candidates {

@@ -34,6 +34,8 @@ type Runner struct {
 	progress    func(match.ProgressEvent)
 	stats       func(match.RunStats)
 	closure     bool
+	backend     match.Backend
+	ckptDir     string
 }
 
 // RunnerOption customizes a Runner.
@@ -80,6 +82,36 @@ func WithNegativeEvidence(neg match.PairSet) RunnerOption {
 	return func(r *Runner) { r.negative = neg }
 }
 
+// WithBackend executes the neighborhood schemes (NO-MP, SMP, MMP) on the
+// given execution backend instead of the default shared-memory pool —
+// e.g. NewShardedBackend(k), which partitions the cover across k shards
+// exchanging serialized evidence deltas. The output is identical for
+// every backend (consistency, Theorems 2 and 4); backends trade where
+// the matcher work runs. FULL and UB have no round structure and ignore
+// the backend.
+func WithBackend(b match.Backend) RunnerOption {
+	return func(r *Runner) { r.backend = b }
+}
+
+// WithShardCount is shorthand for WithBackend(NewShardedBackend(k)):
+// run on the shard-partitioned backend with k shards (k < 1 means one
+// shard per CPU).
+func WithShardCount(k int) RunnerOption {
+	return func(r *Runner) { r.backend = NewShardedBackend(k) }
+}
+
+// WithCheckpointDir persists a checkpoint to dir after every completed
+// round of a neighborhood-scheme run: the round's evidence delta plus
+// the state needed to restart at the next round boundary, in the
+// internal/wire format. A killed run is continued with Runner.Resume;
+// a fresh Run clears any previous trail in dir first. Checkpointing
+// forces the round-based executor even at parallelism 1 (the serial
+// queue schedulers have no round boundaries to checkpoint). FULL and UB
+// runs ignore the option.
+func WithCheckpointDir(dir string) RunnerOption {
+	return func(r *Runner) { r.ckptDir = dir }
+}
+
 // Runner builds a scheme executor for the named matcher ("mln", "rules",
 // or any name passed to RegisterMatcher). The matcher is instantiated on
 // first use and cached per experiment.
@@ -114,24 +146,71 @@ func (r *Runner) coreConfig() core.Config {
 	}
 }
 
+// coreScheme maps a public scheme to the engine's canonical round-based
+// scheme name, or "" for whole-set schemes (FULL, UB) that have no round
+// structure.
+func coreScheme(s Scheme) string {
+	switch s {
+	case SchemeNoMP:
+		return "NO-MP"
+	case SchemeSMP:
+		return "SMP"
+	case SchemeMMP:
+		return "MMP"
+	}
+	return ""
+}
+
 // Run executes one scheme. The context cancels or deadlines the run
 // between neighborhood evaluations; a canceled run returns ctx.Err().
+// When a backend or a checkpoint directory is configured, the
+// neighborhood schemes run on the round-based executor (see WithBackend
+// and WithCheckpointDir).
 func (r *Runner) Run(ctx context.Context, s Scheme) (*Result, error) {
+	return r.run(ctx, s, false)
+}
+
+// Resume continues a previous checkpointed run of scheme s from the
+// configured WithCheckpointDir directory: the persisted rounds are
+// replayed from their serialized evidence deltas and execution picks up
+// at the first unfinished round, landing on the same output the
+// uninterrupted run would have produced (consistency). An empty
+// directory resumes into a fresh run; a completed trail rebuilds the
+// result without calling the matcher. The trail must come from the same
+// scheme over the same experiment.
+func (r *Runner) Resume(ctx context.Context, s Scheme) (*Result, error) {
+	if r.ckptDir == "" {
+		return nil, fmt.Errorf("cem: Resume requires WithCheckpointDir")
+	}
+	if coreScheme(s) == "" {
+		return nil, fmt.Errorf("cem: scheme %q does not checkpoint (no round structure)", s)
+	}
+	return r.run(ctx, s, true)
+}
+
+func (r *Runner) run(ctx context.Context, s Scheme, resume bool) (*Result, error) {
 	cfg := r.coreConfig()
 	var (
 		raw *core.Result
 		err error
 	)
-	switch s {
-	case SchemeNoMP:
+	switch {
+	case coreScheme(s) != "" && (r.backend != nil || r.ckptDir != ""):
+		b := r.backend
+		if b == nil {
+			b = core.PoolBackend{}
+		}
+		raw, err = core.RunBackend(ctx, cfg, coreScheme(s), b,
+			core.CheckpointConfig{Dir: r.ckptDir, Resume: resume, Matcher: r.name})
+	case s == SchemeNoMP:
 		raw, err = core.NoMP(ctx, cfg)
-	case SchemeSMP:
+	case s == SchemeSMP:
 		raw, err = core.SMP(ctx, cfg)
-	case SchemeMMP:
+	case s == SchemeMMP:
 		raw, err = core.MMP(ctx, cfg)
-	case SchemeFull:
+	case s == SchemeFull:
 		raw, err = core.Full(ctx, cfg)
-	case SchemeUB:
+	case s == SchemeUB:
 		raw, err = core.UB(ctx, cfg, r.exp.Truth)
 	default:
 		return nil, fmt.Errorf("cem: unknown scheme %q", s)
