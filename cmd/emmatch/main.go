@@ -3,6 +3,10 @@
 // fly) and prints the evaluation report. With -records it instead runs
 // the full ingestion pipeline on a raw records file (emgen -records):
 // blocking, cover construction, matching and evaluation in one pass.
+// With -ingest it replays a STREAM of record batches through the
+// incremental pipeline: the first batch runs cold, every further batch
+// updates the blocking index in place and warm-starts the matcher from
+// the previous result.
 //
 // Usage:
 //
@@ -10,6 +14,7 @@
 //	emmatch -kind dblp -scale 0.5 -scheme smp -matcher rules -closure
 //	emmatch -kind hepth -parallel 8 -progress
 //	emmatch -records records.tsv -scheme smp -shards 4 -bcubed
+//	emmatch -ingest day1.tsv,day2.tsv,day3.tsv -scheme smp -v
 //	emmatch -kind hepth -backend sharded -backend-shards 4 -checkpoint-dir run1/
 //	emmatch -kind hepth -scheme smp -checkpoint-dir run1/ -resume
 package main
@@ -18,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,39 +33,67 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "emmatch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses and validates flags against
+// args and executes the selected mode, writing reports to stdout and
+// progress to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("emmatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in       = flag.String("in", "", "dataset TSV file (from emgen); empty to generate")
-		records  = flag.String("records", "", "raw records TSV file (from emgen -records); runs the full pipeline")
-		kind     = flag.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
-		scale    = flag.Float64("scale", 0.5, "generated corpus scale")
-		seed     = flag.Int64("seed", 42, "generation seed")
-		scheme   = flag.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
-		matcher  = flag.String("matcher", "mln", "matcher: "+strings.Join(cem.Matchers(), " | "))
-		closure  = flag.Bool("closure", false, "apply transitive closure to the output before scoring")
-		bcubed   = flag.Bool("bcubed", false, "also print the B-cubed cluster metric")
-		parallel = flag.Int("parallel", 1, "concurrent neighborhood evaluations")
-		shards   = flag.Int("shards", 0, "blocking shards for -records (0 = one per CPU)")
-		maxNbr   = flag.Int("max-neighborhood", 0, "canopy size bound for -records (0 = unbounded)")
-		backend  = flag.String("backend", "", "execution backend: "+strings.Join(cem.Backends(), " | ")+" (empty = default pool)")
-		bShards  = flag.Int("backend-shards", 0, "shard count for the sharded backend (0 = one per CPU)")
-		ckptDir  = flag.String("checkpoint-dir", "", "persist a checkpoint after every round to this directory")
-		resume   = flag.Bool("resume", false, "continue the run from -checkpoint-dir instead of starting over")
-		progress = flag.Bool("progress", false, "print a line per neighborhood evaluation")
-		verbose  = flag.Bool("v", false, "print run statistics")
+		in       = fs.String("in", "", "dataset TSV file (from emgen); empty to generate")
+		records  = fs.String("records", "", "raw records TSV file (from emgen -records); runs the full pipeline")
+		ingest   = fs.String("ingest", "", "comma-separated record TSV files replayed as an incremental stream")
+		kind     = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
+		scale    = fs.Float64("scale", 0.5, "generated corpus scale")
+		seed     = fs.Int64("seed", 42, "generation seed")
+		scheme   = fs.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
+		matcher  = fs.String("matcher", "mln", "matcher: "+strings.Join(cem.Matchers(), " | "))
+		closure  = fs.Bool("closure", false, "apply transitive closure to the output before scoring")
+		bcubed   = fs.Bool("bcubed", false, "also print the B-cubed cluster metric")
+		parallel = fs.Int("parallel", 1, "concurrent neighborhood evaluations")
+		shards   = fs.Int("shards", 0, "blocking shards for -records (0 = one per CPU; -ingest's delta index blocks serially)")
+		maxNbr   = fs.Int("max-neighborhood", 0, "canopy size bound for -records/-ingest (0 = unbounded)")
+		backend  = fs.String("backend", "", "execution backend: "+strings.Join(cem.Backends(), " | ")+" (empty = default pool)")
+		bShards  = fs.Int("backend-shards", 0, "shard count for the sharded backend (0 = one per CPU)")
+		ckptDir  = fs.String("checkpoint-dir", "", "persist a checkpoint after every round to this directory")
+		resume   = fs.Bool("resume", false, "continue the run from -checkpoint-dir instead of starting over")
+		progress = fs.Bool("progress", false, "print a line per neighborhood evaluation")
+		verbose  = fs.Bool("v", false, "print run statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *resume && *ckptDir == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
-	if *bShards != 0 && *backend == "" {
-		fatal(fmt.Errorf("-backend-shards requires -backend (e.g. -backend sharded)"))
+	if *bShards != 0 && *backend != "sharded" {
+		return fmt.Errorf("-backend-shards requires -backend sharded (got -backend %q)", *backend)
 	}
+	modes := 0
+	for _, m := range []string{*in, *records, *ingest} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-in, -records and -ingest are mutually exclusive")
+	}
+	if *ingest != "" && *resume {
+		return fmt.Errorf("-ingest replays a fresh stream; it cannot be combined with -resume")
+	}
+
 	opts := []cem.RunnerOption{cem.WithParallelism(*parallel)}
 	if *backend != "" {
 		b, err := cem.NewBackend(*backend, *bShards)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		opts = append(opts, cem.WithBackend(b))
 	}
@@ -71,43 +105,49 @@ func main() {
 	}
 	if *progress {
 		opts = append(opts, cem.WithProgress(func(e match.ProgressEvent) {
-			fmt.Fprintf(os.Stderr, "%s: round %d, neighborhood %d, %d evaluations, %d matches\n",
+			fmt.Fprintf(stderr, "%s: round %d, neighborhood %d, %d evaluations, %d matches\n",
 				e.Scheme, e.Round, e.Neighborhood, e.Evaluations, e.Matches)
 		}))
 	}
 
+	pcfg := pipelineConfig{
+		scheme: *scheme, matcher: *matcher, shards: *shards, maxNbr: *maxNbr,
+		bcubed: *bcubed, verbose: *verbose, resume: *resume, runnerOpts: opts,
+	}
+	if *ingest != "" {
+		return runIngest(strings.Split(*ingest, ","), pcfg, stdout)
+	}
 	if *records != "" {
-		runPipeline(*records, *scheme, *matcher, *shards, *maxNbr, *bcubed, *verbose, *resume, opts)
-		return
+		return runPipeline(*records, pcfg, stdout)
 	}
 
 	var d *bib.Dataset
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		var rerr error
 		d, rerr = bib.Read(f)
 		f.Close()
 		if rerr != nil {
-			fatal(rerr)
+			return rerr
 		}
 	} else {
 		var err error
 		d, err = cem.GenerateDataset(cem.DatasetKind(*kind), *scale, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	exp, err := cem.New(d)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	runner, err := exp.Runner(*matcher, opts...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var res *cem.Result
 	if *resume {
@@ -116,72 +156,135 @@ func main() {
 		res, err = runner.Run(context.Background(), cem.Scheme(*scheme))
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	report := exp.Evaluate(res)
-	fmt.Printf("dataset %s: %s\n", d.Name, d.ComputeStats())
-	fmt.Printf("cover: %s\n", exp.Cover.ComputeStats())
-	fmt.Println(report)
+	fmt.Fprintf(stdout, "dataset %s: %s\n", d.Name, d.ComputeStats())
+	fmt.Fprintf(stdout, "cover: %s\n", exp.Cover.ComputeStats())
+	fmt.Fprintln(stdout, report)
 	if *bcubed {
-		fmt.Printf("B³:    %v\n", exp.EvaluateBCubed(res))
+		fmt.Fprintf(stdout, "B³:    %v\n", exp.EvaluateBCubed(res))
 	}
 	if *verbose {
-		fmt.Printf("stats: %s\n", res.Stats)
+		fmt.Fprintf(stdout, "stats: %s\n", res.Stats)
+	}
+	return nil
+}
+
+// pipelineConfig bundles the pipeline-mode options shared by -records
+// and -ingest.
+type pipelineConfig struct {
+	scheme, matcher string
+	shards, maxNbr  int
+	bcubed, verbose bool
+	resume          bool
+	runnerOpts      []cem.RunnerOption
+}
+
+// newPipeline assembles the pipeline both modes run on.
+func (c pipelineConfig) newPipeline(name string) (*cem.Pipeline, error) {
+	return cem.NewPipeline(
+		cem.WithDatasetName(name),
+		cem.WithMatcher(c.matcher),
+		cem.WithScheme(cem.Scheme(c.scheme)),
+		cem.WithShards(c.shards),
+		cem.WithMaxNeighborhood(c.maxNbr),
+		cem.WithRunnerOptions(c.runnerOpts...),
+	)
+}
+
+// report prints one pipeline result.
+func (c pipelineConfig) report(w io.Writer, label string, res *cem.PipelineResult) {
+	fmt.Fprintf(w, "%s: %d records, %d matches (blocking %v, matching %v)\n",
+		label, res.Records, res.Matches.Len(), res.BlockingTime, res.MatchingTime)
+	fmt.Fprintf(w, "cover: %s\n", res.Experiment.Cover.ComputeStats())
+	if res.Labeled {
+		fmt.Fprintln(w, *res.Report)
+		if c.bcubed {
+			fmt.Fprintf(w, "B³:    %v\n", *res.BCubed)
+		}
+	} else {
+		fmt.Fprintln(w, "(unlabeled records: no metrics)")
+	}
+	if c.verbose {
+		fmt.Fprintf(w, "stats: %s\n", res.Stats)
 	}
 }
 
-// runPipeline is the -records path: raw records → blocking → matching →
-// metrics through the public Pipeline API.
-func runPipeline(path, scheme, matcher string, shards, maxNbr int, bcubed, verbose, resume bool, runnerOpts []cem.RunnerOption) {
+// readRecordsFile loads one raw records TSV.
+func readRecordsFile(path string) (string, []cem.Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return "", nil, err
 	}
+	defer f.Close()
 	name, recs, err := cem.ReadRecords(f)
-	f.Close()
 	if err != nil {
-		fatal(err)
+		return "", nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if name == "" {
 		name = path
 	}
-	pipe, err := cem.NewPipeline(
-		cem.WithDatasetName(name),
-		cem.WithMatcher(matcher),
-		cem.WithScheme(cem.Scheme(scheme)),
-		cem.WithShards(shards),
-		cem.WithMaxNeighborhood(maxNbr),
-		cem.WithRunnerOptions(runnerOpts...),
-	)
+	return name, recs, nil
+}
+
+// runPipeline is the -records path: raw records → blocking → matching →
+// metrics through the public Pipeline API.
+func runPipeline(path string, cfg pipelineConfig, stdout io.Writer) error {
+	name, recs, err := readRecordsFile(path)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	pipe, err := cfg.newPipeline(name)
+	if err != nil {
+		return err
 	}
 	var res *cem.PipelineResult
-	if resume {
+	if cfg.resume {
 		res, err = pipe.Resume(context.Background(), recs)
 	} else {
 		res, err = pipe.Run(context.Background(), recs)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("records %s: %d records, %d matches (blocking %v, matching %v)\n",
-		name, res.Records, res.Matches.Len(), res.BlockingTime, res.MatchingTime)
-	fmt.Printf("cover: %s\n", res.Experiment.Cover.ComputeStats())
-	if res.Labeled {
-		fmt.Println(*res.Report)
-		if bcubed {
-			fmt.Printf("B³:    %v\n", *res.BCubed)
-		}
-	} else {
-		fmt.Println("(unlabeled records: no metrics)")
-	}
-	if verbose {
-		fmt.Printf("stats: %s\n", res.Stats)
-	}
+	cfg.report(stdout, "records "+name, res)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "emmatch: %v\n", err)
-	os.Exit(1)
+// runIngest is the -ingest path: the record batches are replayed as an
+// incremental stream through Pipeline.Update — delta blocking plus
+// warm-started matching — printing one report per batch, annotated with
+// whether the batch warm-started or forced a full re-run.
+func runIngest(paths []string, cfg pipelineConfig, stdout io.Writer) error {
+	var pipe *cem.Pipeline
+	var res *cem.PipelineResult
+	for i, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			return fmt.Errorf("-ingest: empty batch path at position %d", i+1)
+		}
+		name, recs, err := readRecordsFile(path)
+		if err != nil {
+			return err
+		}
+		if pipe == nil {
+			if pipe, err = cfg.newPipeline(name); err != nil {
+				return err
+			}
+		}
+		res, err = pipe.Update(context.Background(), res, recs)
+		if err != nil {
+			return fmt.Errorf("batch %d (%s): %w", i+1, path, err)
+		}
+		mode := "cold"
+		switch {
+		case res.WarmStarted:
+			mode = "warm"
+		case res.ForcedRerun:
+			mode = "full re-run (non-additive delta)"
+		}
+		cfg.report(stdout, fmt.Sprintf("batch %d/%d %s [%s]", i+1, len(paths), path, mode), res)
+	}
+	return nil
 }

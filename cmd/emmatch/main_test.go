@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cem "repro"
+)
+
+// runQuiet drives run with discard-able buffers and returns the error.
+func runQuiet(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf strings.Builder
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+// TestFlagValidation pins the CLI's argument checks: the combinations
+// that cannot mean anything must fail fast with a clear error instead of
+// running a half-configured job.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"resume without checkpoint dir",
+			[]string{"-resume"},
+			"-resume requires -checkpoint-dir"},
+		{"backend shards without backend",
+			[]string{"-backend-shards", "4"},
+			"-backend-shards requires -backend sharded"},
+		{"backend shards with pool backend",
+			[]string{"-backend", "pool", "-backend-shards", "4"},
+			"-backend-shards requires -backend sharded"},
+		{"in and records together",
+			[]string{"-in", "a.tsv", "-records", "b.tsv"},
+			"mutually exclusive"},
+		{"records and ingest together",
+			[]string{"-records", "b.tsv", "-ingest", "c.tsv"},
+			"mutually exclusive"},
+		{"ingest with resume",
+			[]string{"-ingest", "a.tsv,b.tsv", "-checkpoint-dir", "x", "-resume"},
+			"cannot be combined with -resume"},
+		{"unknown flag",
+			[]string{"-no-such-flag"},
+			"flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := runQuiet(t, tc.args...); err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// writeBatches splits a generated corpus into record TSV batch files.
+func writeBatches(t *testing.T, dir string, cuts ...float64) []string {
+	t.Helper()
+	records, err := cem.GenerateRecords(cem.DBLP, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	lo := 0
+	for i, frac := range cuts {
+		hi := int(frac * float64(len(records)))
+		if i == len(cuts)-1 {
+			hi = len(records)
+		}
+		path := filepath.Join(dir, "batch"+string(rune('1'+i))+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cem.WriteRecords(f, "dblp-stream", records[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, path)
+		lo = hi
+	}
+	return paths
+}
+
+// TestIngestReplaysStream runs the -ingest mode end to end on a real
+// (small) corpus split into three batches and checks the per-batch
+// reports and the final match count against a cold pipeline run.
+func TestIngestReplaysStream(t *testing.T) {
+	paths := writeBatches(t, t.TempDir(), 0.6, 0.8, 1.0)
+	out, err := runQuiet(t, "-ingest", strings.Join(paths, ","), "-scheme", "smp", "-v")
+	if err != nil {
+		t.Fatalf("ingest run: %v", err)
+	}
+	for _, want := range []string{"batch 1/3", "batch 2/3", "batch 3/3", "[cold]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ingest output lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "[warm]") && !strings.Contains(out, "full re-run") {
+		t.Errorf("ingest output reports no incremental batches:\n%s", out)
+	}
+
+	// The stream must land on the cold pipeline's match count.
+	records, err := cem.GenerateRecords(cem.DBLP, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP), cem.WithDatasetName("dblp-stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pipe.Run(context.Background(), records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine := "records, " + itoa(cold.Matches.Len()) + " matches"
+	lines := strings.Split(out, "\n")
+	final := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "batch 3/3") {
+			final = l
+		}
+	}
+	if !strings.Contains(final, wantLine) {
+		t.Errorf("final batch line %q does not carry the cold match count (%d)", final, cold.Matches.Len())
+	}
+}
+
+// TestIngestRejectsMissingFile: a bad batch path fails cleanly.
+func TestIngestRejectsMissingFile(t *testing.T) {
+	if _, err := runQuiet(t, "-ingest", "no-such-file.tsv"); err == nil {
+		t.Fatal("ingest of a missing file succeeded")
+	}
+	if _, err := runQuiet(t, "-ingest", " , "); err == nil {
+		t.Fatal("ingest of empty paths succeeded")
+	}
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

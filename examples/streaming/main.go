@@ -1,0 +1,83 @@
+// Streaming: incremental matching over a live record stream. Records
+// arrive in batches; instead of re-blocking and re-matching the whole
+// corpus on every arrival, Pipeline.Update ingests each batch into the
+// mutable blocking index (only the new records are scored against the
+// q-gram structures) and warm-starts the matcher from the previous
+// result — prior matches become committed evidence, and only the
+// neighborhoods the delta touched are re-activated (the paper's
+// Neighbor(·) re-activation applied to ingestion).
+//
+// The punchline is printed at the end: the final incremental state is
+// byte-identical to a cold run over everything, at a fraction of the
+// matcher calls per batch.
+//
+// Only the public cem package is used. Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+)
+
+import cem "repro"
+
+func main() {
+	// A synthetic DBLP-like corpus, played back as one base load plus a
+	// trickle of small batches — the shape of a live ingestion feed.
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(records)
+	cuts := []int{n * 6 / 10, n * 7 / 10, n * 8 / 10, n * 9 / 10, n}
+
+	pipe, err := cem.NewPipeline(
+		cem.WithScheme(cem.SchemeSMP),
+		cem.WithDatasetName("dblp-stream"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cold reference: everything at once.
+	cold, err := pipe.Run(context.Background(), records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold run over %d records: %d matches, %d matcher calls\n\n",
+		n, cold.Matches.Len(), cold.Stats.MatcherCalls)
+
+	// The stream: Update folds each batch into the previous state.
+	var state *cem.PipelineResult
+	lo := 0
+	for i, hi := range cuts {
+		batch := records[lo:hi]
+		state, err = pipe.Update(context.Background(), state, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "cold"
+		switch {
+		case state.WarmStarted:
+			mode = "warm"
+		case state.ForcedRerun:
+			mode = "full re-run"
+		}
+		fmt.Printf("batch %d: +%3d records → %4d matches  (%4s, %3d matcher calls, blocking %v)\n",
+			i+1, len(batch), state.Matches.Len(), mode, state.Stats.MatcherCalls, state.BlockingTime)
+		lo = hi
+	}
+
+	fmt.Println()
+	if state.Matches.Equal(cold.Matches) {
+		fmt.Println("incremental state is identical to the cold run ✓")
+	} else {
+		log.Fatal("incremental state diverged from the cold run — this should be impossible")
+	}
+	if state.Report != nil {
+		fmt.Printf("final quality: %v\n", *state.Report)
+	}
+}

@@ -1,0 +1,703 @@
+package cem_test
+
+// Randomized differential harness for the incremental execution path:
+// records arrive in seeded random order and random batch splits, are
+// ingested with Pipeline.Update (delta blocking + warm-started
+// matching), and the result after the final batch must be BYTE-IDENTICAL
+// to a cold Pipeline.Run over the union — for every scheme, on the pool
+// and the sharded backend alike — while spending strictly fewer matcher
+// calls than the cold run. This is the empirical form of the paper's
+// consistency guarantees applied to delta ingestion: re-activating only
+// the neighborhoods an arrival touches reaches the same fixpoint as
+// re-running everything.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	cem "repro"
+	"repro/match"
+)
+
+// arrival is one randomized ingestion sequence: a shuffled record order
+// cut into a base batch (55–75% of the corpus) followed by small
+// trailing batches (1–8% each) — the steady-state streaming regime.
+func arrival(rng *rand.Rand, records []cem.Record) [][]cem.Record {
+	recs := append([]cem.Record(nil), records...)
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	n := len(recs)
+	batches := [][]cem.Record{}
+	lo := 0
+	for lo < n {
+		var hi int
+		if lo == 0 {
+			hi = n*11/20 + rng.Intn(n/5+1) // 55–75%
+		} else {
+			hi = lo + 1 + rng.Intn(n*8/100+1) // 1–8%
+		}
+		if hi > n {
+			hi = n
+		}
+		batches = append(batches, recs[lo:hi])
+		lo = hi
+	}
+	return batches
+}
+
+// ingest folds Update over an arrival sequence and asserts the warm-path
+// invariants: every trailing batch warm-starts (the arrival splits used
+// here keep the cover additive) and, when a cold reference is supplied,
+// every warm-started update spends strictly fewer matcher calls than the
+// cold run — the whole point of delta ingestion.
+func ingest(t *testing.T, pipe *cem.Pipeline, batches [][]cem.Record, cold *cem.PipelineResult) *cem.PipelineResult {
+	t.Helper()
+	var res *cem.PipelineResult
+	var err error
+	for bi, batch := range batches {
+		res, err = pipe.Update(context.Background(), res, batch)
+		if err != nil {
+			t.Fatalf("update %d: %v", bi, err)
+		}
+		if bi == 0 {
+			continue
+		}
+		if !res.WarmStarted {
+			t.Errorf("update %d (%d records) did not warm-start (forced rerun: %v)",
+				bi, len(batch), res.ForcedRerun)
+		}
+		if cold != nil && res.Stats.MatcherCalls >= cold.Stats.MatcherCalls {
+			t.Errorf("update %d (%d records): %d matcher calls, cold run needs only %d — no incremental savings",
+				bi, len(batch), res.Stats.MatcherCalls, cold.Stats.MatcherCalls)
+		}
+	}
+	return res
+}
+
+// incrementalMatrix: every scheme with round structure, on both
+// execution backends. FULL and UB have no incremental path.
+var incrementalBackends = []struct {
+	name string
+	opt  cem.RunnerOption
+}{
+	{"pool", cem.WithBackend(cem.NewPoolBackend())},
+	{"sharded4", cem.WithShardCount(4)},
+}
+
+// TestIncrementalMatchesColdRun is the acceptance harness: 5 arrival
+// seeds × both corpora × {nomp, smp, mmp} × {pool, sharded K=4}, each
+// asserting byte-identical results and strict matcher-call savings.
+func TestIncrementalMatchesColdRun(t *testing.T) {
+	for _, ds := range goldenSeeds {
+		records, err := cem.GenerateRecords(ds.kind, ds.scale, ds.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			batches := arrival(rand.New(rand.NewSource(seed)), records)
+			var union []cem.Record
+			for _, b := range batches {
+				union = append(union, b...)
+			}
+			for _, scheme := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP} {
+				// One cold reference per scheme: backends are output- and
+				// stats-identical (consistency), so the pool run grades both.
+				coldPipe, err := cem.NewPipeline(
+					cem.WithScheme(scheme),
+					cem.WithRunnerOptions(cem.WithBackend(cem.NewPoolBackend())),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := coldPipe.Run(context.Background(), union)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := renderMatches(cold.Result)
+				for _, backend := range incrementalBackends {
+					t.Run(fmt.Sprintf("%s-seed%d-%s-%s", ds.kind, seed, scheme, backend.name), func(t *testing.T) {
+						pipe, err := cem.NewPipeline(
+							cem.WithScheme(scheme),
+							cem.WithRunnerOptions(backend.opt),
+						)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res := ingest(t, pipe, batches, cold)
+						if got := renderMatches(res.Result); got != want {
+							t.Errorf("incremental result diverges from cold run over %d records in %d batches: %s",
+								len(union), len(batches), firstDiff(got, want))
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalPrefixesMatchColdRuns sharpens the harness on one
+// arrival per corpus: after EVERY batch, the incremental state equals a
+// cold run over exactly the records ingested so far — the incremental
+// path is indistinguishable at every prefix, not just at the end.
+func TestIncrementalPrefixesMatchColdRuns(t *testing.T) {
+	for _, ds := range goldenSeeds {
+		records, err := cem.GenerateRecords(ds.kind, ds.scale, ds.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := arrival(rand.New(rand.NewSource(11)), records)
+		pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *cem.PipelineResult
+		var prefix []cem.Record
+		for bi, batch := range batches {
+			prefix = append(prefix, batch...)
+			res, err = pipe.Update(context.Background(), res, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := pipe.Run(context.Background(), prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := renderMatches(res.Result), renderMatches(cold.Result); got != want {
+				t.Errorf("%s: prefix after batch %d (%d records) diverges from cold run: %s",
+					ds.kind, bi, len(prefix), firstDiff(got, want))
+			}
+		}
+	}
+}
+
+// TestIncrementalRulesMatcher runs the differential harness for the
+// Type-I rules matcher (NO-MP and SMP; it is not probabilistic), with
+// and without the end-of-run transitive closure — the closure must
+// compose with warm starts (continuations are seeded from the raw
+// pre-closure evidence).
+func TestIncrementalRulesMatcher(t *testing.T) {
+	for _, ds := range goldenSeeds {
+		records, err := cem.GenerateRecords(ds.kind, ds.scale, ds.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := arrival(rand.New(rand.NewSource(2)), records)
+		var union []cem.Record
+		for _, b := range batches {
+			union = append(union, b...)
+		}
+		for _, scheme := range []cem.Scheme{cem.SchemeNoMP, cem.SchemeSMP} {
+			for _, closure := range []bool{false, true} {
+				opts := []cem.PipelineOption{
+					cem.WithMatcher(cem.MatcherRules),
+					cem.WithScheme(scheme),
+					cem.WithRunnerOptions(cem.WithBackend(cem.NewPoolBackend())),
+				}
+				if closure {
+					opts = append(opts, cem.WithRunnerOptions(cem.WithTransitiveClosure()))
+				}
+				pipe, err := cem.NewPipeline(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := pipe.Run(context.Background(), union)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := ingest(t, pipe, batches, cold)
+				if got, want := renderMatches(res.Result), renderMatches(cold.Result); got != want {
+					t.Errorf("%s/rules/%s closure=%v: incremental diverges: %s",
+						ds.kind, scheme, closure, firstDiff(got, want))
+				}
+			}
+		}
+	}
+}
+
+// streamBatches is the pinned 3-batch arrival of the streaming golden
+// fixtures: shuffle seed 7, cuts at 60% and 80% (a shape on which every
+// corpus stays additive, so the fixtures pin the warm path, not the
+// fallback).
+func streamBatches(records []cem.Record) [][]cem.Record {
+	rng := rand.New(rand.NewSource(7))
+	recs := append([]cem.Record(nil), records...)
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	n := len(recs)
+	return [][]cem.Record{recs[: n*6/10 : n*6/10], recs[n*6/10 : n*8/10], recs[n*8/10:]}
+}
+
+// TestGoldenStreamingFixtures pins the streaming path's exact output:
+// 2 corpora × {smp, mmp} × the pinned 3-batch arrival, committed under
+// testdata/golden/stream-*.golden and refreshed with -update like the
+// other fixtures.
+func TestGoldenStreamingFixtures(t *testing.T) {
+	for _, ds := range goldenSeeds {
+		records, err := cem.GenerateRecords(ds.kind, ds.scale, ds.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := streamBatches(records)
+		for _, scheme := range []cem.Scheme{cem.SchemeSMP, cem.SchemeMMP} {
+			name := fmt.Sprintf("stream-%s-%s-%s", ds.kind, cem.MatcherMLN, scheme)
+			t.Run(name, func(t *testing.T) {
+				pipe, err := cem.NewPipeline(cem.WithScheme(scheme))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := ingest(t, pipe, batches, nil)
+				got := renderMatches(res.Result)
+				path := filepath.Join("testdata", "golden", name+".golden")
+				if *updateGolden {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing fixture %s (run `go test -run TestGoldenStreamingFixtures -update`): %v", path, err)
+				}
+				if got != string(want) {
+					t.Errorf("streaming match set diverges from %s: %s", path, firstDiff(got, string(want)))
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateUnlabeledStream: ingestion of unlabeled records must skip
+// the metrics without failing — labels are an evaluation nicety, not an
+// ingestion requirement.
+func TestUpdateUnlabeledStream(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip every label (and keep groups) by re-wrapping the records.
+	stripped := make([]cem.Record, len(records))
+	for i, r := range records {
+		b := r.(cem.BasicRecord)
+		stripped[i] = cem.BasicRecord{Key: b.Key, Group: b.Group, Gold: -1}
+	}
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ingest(t, pipe, streamBatches(stripped), nil)
+	if res.Labeled {
+		t.Error("unlabeled stream reported Labeled")
+	}
+	if res.Report != nil || res.BCubed != nil {
+		t.Error("unlabeled stream computed metrics")
+	}
+	if res.Matches.Len() == 0 {
+		t.Error("unlabeled stream produced no matches at all")
+	}
+
+	// The labels must not influence matching: the unlabeled stream's
+	// match set equals the labeled one's.
+	labeled := ingest(t, pipe, streamBatches(records), nil)
+	if !res.Matches.Equal(labeled.Matches) {
+		t.Error("labels changed the match set")
+	}
+	if labeled.Report == nil || labeled.BCubed == nil {
+		t.Error("fully labeled stream skipped metrics")
+	}
+}
+
+// TestUpdateWarmTrailResume: an Update killed mid-continuation leaves a
+// resumable checkpoint trail (the warm seed is its round-1 record);
+// Pipeline.Resume over the union records must finish it and land on the
+// uninterrupted Update's exact result.
+func TestUpdateWarmTrailResume(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.HEPTH, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(records)
+	union := append(append(append([]cem.Record(nil), batches[0]...), batches[1]...), batches[2]...)
+
+	build := func(dir string, extra ...cem.RunnerOption) *cem.Pipeline {
+		t.Helper()
+		ropts := append([]cem.RunnerOption{cem.WithCheckpointDir(dir)}, extra...)
+		pipe, err := cem.NewPipeline(
+			cem.WithScheme(cem.SchemeSMP),
+			cem.WithRunnerOptions(ropts...),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pipe
+	}
+
+	// Uninterrupted reference: base + one warm update.
+	clean, err := build(t.TempDir()).Update(context.Background(), nil, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := build(t.TempDir()).Update(context.Background(), clean,
+		append(append([]cem.Record(nil), batches[1]...), batches[2]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleanRes.WarmStarted {
+		t.Fatal("reference update did not warm-start")
+	}
+
+	// Killed continuation: cancel at the first progress event past the
+	// seed round, leaving the synthetic round-1 record (plus possibly
+	// round 2) on disk.
+	dir := t.TempDir()
+	base, err := build(dir).Update(context.Background(), nil, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := build(dir, cem.WithProgress(func(e match.ProgressEvent) {
+		if e.Round >= 2 {
+			cancel()
+		}
+	}))
+	_, err = killed.Update(ctx, base,
+		append(append([]cem.Record(nil), batches[1]...), batches[2]...))
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected the killed update to report cancellation, got %v", err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "round-*.ckpt")); len(files) == 0 {
+		t.Fatal("killed warm update left no checkpoint trail")
+	}
+
+	resumed, err := build(dir).Resume(context.Background(), union)
+	if err != nil {
+		t.Fatalf("resuming the warm trail: %v", err)
+	}
+	if got, want := renderMatches(resumed.Result), renderMatches(cleanRes.Result); got != want {
+		t.Errorf("resumed warm trail diverges from uninterrupted update: %s", firstDiff(got, want))
+	}
+}
+
+// TestUpdateStaleTrailRejected: a checkpoint trail written before a
+// delta fingerprints the pre-delta cover; once ingestion changed the
+// cover, resuming that trail must be refused, not silently replayed
+// against the wrong neighborhoods.
+func TestUpdateStaleTrailRejected(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(records)
+	dir := t.TempDir()
+	pipe, err := cem.NewPipeline(
+		cem.WithScheme(cem.SchemeSMP),
+		cem.WithRunnerOptions(cem.WithCheckpointDir(dir)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Update(context.Background(), nil, batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The trail in dir fingerprints the batch-0 cover. Resuming with the
+	// delta ingested (more entities, more neighborhoods) must fail.
+	union := append(append([]cem.Record(nil), batches[0]...), batches[1]...)
+	if _, err := pipe.Resume(context.Background(), union); err == nil {
+		t.Error("resuming a pre-delta trail against the post-delta cover succeeded")
+	}
+}
+
+// TestRunFromValidation pins the snapshot plumbing's error paths at the
+// public Runner surface.
+func TestRunFromValidation(t *testing.T) {
+	small, err := cem.New(cem.NewDataset(cem.DBLP, 0.1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := cem.New(cem.NewDataset(cem.DBLP, 0.25, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := big.Runner(cem.MatcherMLN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallRunner, err := small.Runner(cem.MatcherMLN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := smallRunner.Run(context.Background(), cem.SchemeSMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := small.Snapshot(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := runner.RunFrom(context.Background(), cem.SchemeSMP, nil, nil); err == nil {
+		t.Error("RunFrom accepted a nil snapshot")
+	}
+	if _, err := runner.RunFrom(context.Background(), cem.SchemeFull, snap, nil); err == nil {
+		t.Error("RunFrom accepted FULL (no round structure)")
+	}
+	if _, err := runner.RunFrom(context.Background(), cem.SchemeMMP, snap, nil); err == nil {
+		t.Error("RunFrom accepted a scheme different from the snapshot's")
+	}
+	rules, err := big.Runner(cem.MatcherRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rules.RunFrom(context.Background(), cem.SchemeSMP, snap, nil); err == nil {
+		t.Error("RunFrom accepted a snapshot from a different matcher")
+	}
+	// Shrinking: a snapshot over MORE entities than the target cover.
+	bigRes, err := runner.Run(context.Background(), cem.SchemeSMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigSnap, err := big.Snapshot(bigRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smallRunner.RunFrom(context.Background(), cem.SchemeSMP, bigSnap, nil); err == nil {
+		t.Error("RunFrom accepted a snapshot spanning more entities than the cover")
+	}
+	// The happy path: continuing the same experiment with an empty seed
+	// is a no-op that returns the snapshot's own matches.
+	idle, err := smallRunner.RunFrom(context.Background(), cem.SchemeSMP, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idle.Matches.Equal(res.Matches) {
+		t.Error("empty-seed RunFrom diverges from the snapshot run")
+	}
+}
+
+// TestUpdateAcrossBlockingConfigs: handing a prior to a pipeline with a
+// DIFFERENT blocking configuration must not reuse the prior's index —
+// its cover would match the wrong pipeline. The foreign branch rebuilds
+// and still equals its own cold run.
+func TestUpdateAcrossBlockingConfigs(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(records)
+	union := append(append([]cem.Record(nil), batches[0]...), batches[1]...)
+	loose, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP), cem.WithMaxNeighborhood(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := loose.Update(context.Background(), nil, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := tight.Update(context.Background(), prior, batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.WarmStarted || !cross.ForcedRerun {
+		t.Errorf("cross-config update warm-started (warm=%v forced=%v); foreign evidence must force a cold run",
+			cross.WarmStarted, cross.ForcedRerun)
+	}
+	cold, err := tight.Run(context.Background(), union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderMatches(cross.Result), renderMatches(cold.Result); got != want {
+		t.Errorf("cross-config update diverges from the target pipeline's cold run: %s", firstDiff(got, want))
+	}
+	// The rebuilt branch is self-consistent: the NEXT batch on the same
+	// pipeline still equals its cold run. (With a MaxNeighborhood cap,
+	// arrivals may displace canopy members, so this config legitimately
+	// alternates between warm starts and forced reruns — correctness,
+	// not warmth, is the invariant here.)
+	next, err := tight.Update(context.Background(), cross, batches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldAll, err := tight.Run(context.Background(), append(union, batches[2]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderMatches(next.Result), renderMatches(coldAll.Result); got != want {
+		t.Errorf("follow-up update after a cross-config rebuild diverges from cold: %s", firstDiff(got, want))
+	}
+}
+
+// TestSnapshotRejectsWholeSetSchemes: FULL and UB results have no round
+// structure and cannot seed continuations.
+func TestSnapshotRejectsWholeSetSchemes(t *testing.T) {
+	exp, err := cem.New(cem.NewDataset(cem.DBLP, 0.1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := exp.Runner(cem.MatcherMLN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(context.Background(), cem.SchemeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Snapshot(res); err == nil {
+		t.Error("Snapshot accepted a FULL result")
+	}
+}
+
+// TestUpdateArgumentErrors pins Update's own validation.
+func TestUpdateArgumentErrors(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Update(context.Background(), nil, nil); err == nil {
+		t.Error("Update accepted an empty batch")
+	}
+	full, err := cem.NewPipeline(cem.WithScheme(cem.SchemeFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Update(context.Background(), nil, records); err == nil {
+		t.Error("Update accepted the FULL scheme (no incremental path)")
+	}
+	if _, err := pipe.Update(context.Background(), &cem.PipelineResult{}, records); err == nil {
+		t.Error("Update accepted a prior without ingestion state")
+	}
+}
+
+// TestUpdateForkedPrior: Updates share the blocking index along a
+// chain, so re-updating from a STALE prior (a fork — the index has
+// already advanced past it) must not silently reuse the other branch's
+// state: the fork is replayed fresh and still matches its cold run.
+func TestUpdateForkedPrior(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(records)
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pipe.Update(context.Background(), nil, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First branch advances the shared index to all three batches.
+	mid, err := pipe.Update(context.Background(), base, batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Update(context.Background(), mid, batches[2]); err != nil {
+		t.Fatal(err)
+	}
+	// Second branch forks from the now-stale base with batch 2 only.
+	fork, err := pipe.Update(context.Background(), base, batches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := append(append([]cem.Record(nil), batches[0]...), batches[2]...)
+	cold, err := pipe.Run(context.Background(), union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderMatches(fork.Result), renderMatches(cold.Result); got != want {
+		t.Errorf("forked-prior update diverges from its cold run: %s", firstDiff(got, want))
+	}
+}
+
+// TestUpdateConcurrentForks: two goroutines updating from the SAME
+// prior race on the shared blocking index; the atomic AddFrom advance
+// means one branch wins it and the other rebuilds — both must match
+// their respective cold runs. (Run under -race in CI.)
+func TestUpdateConcurrentForks(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(records)
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pipe.Update(context.Background(), nil, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*cem.PipelineResult, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, batch := range [][]cem.Record{batches[1], batches[2]} {
+		wg.Add(1)
+		go func(i int, batch []cem.Record) {
+			defer wg.Done()
+			results[i], errs[i] = pipe.Update(context.Background(), base, batch)
+		}(i, batch)
+	}
+	wg.Wait()
+	for i, batch := range [][]cem.Record{batches[1], batches[2]} {
+		if errs[i] != nil {
+			t.Fatalf("concurrent fork %d: %v", i, errs[i])
+		}
+		union := append(append([]cem.Record(nil), batches[0]...), batch...)
+		cold, err := pipe.Run(context.Background(), union)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderMatches(results[i].Result), renderMatches(cold.Result); got != want {
+			t.Errorf("concurrent fork %d diverges from its cold run: %s", i, firstDiff(got, want))
+		}
+	}
+}
+
+// TestUpdatePriorFromRun: a prior produced by Run (no streaming index)
+// is upgraded transparently — Update replays the records once, then
+// warm-starts, and the result still matches the cold union run.
+func TestUpdatePriorFromRun(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(records)
+	union := append(append(append([]cem.Record(nil), batches[0]...), batches[1]...), batches[2]...)
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := pipe.Run(context.Background(), batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := pipe.Update(context.Background(), prior, batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mid.WarmStarted {
+		t.Error("update on a Run-produced prior did not warm-start")
+	}
+	final, err := pipe.Update(context.Background(), mid, batches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pipe.Run(context.Background(), union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderMatches(final.Result), renderMatches(cold.Result); got != want {
+		t.Errorf("Run-seeded incremental chain diverges from cold run: %s", firstDiff(got, want))
+	}
+}

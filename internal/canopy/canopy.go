@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -340,22 +341,41 @@ func ExpandBoundary(sets [][]core.EntityID, rel *graph.Graph) [][]core.EntityID 
 
 // GreedyTotalCover turns canopies into a total cover (Definition 7) with
 // minimal growth: every relation edge not yet inside any single
-// neighborhood is patched by adding its missing endpoint to the smallest
-// neighborhood containing the other endpoint. The result covers every
-// relation tuple exactly as Definition 7 requires, while neighborhoods
-// stay close to canopy size — which is what fragments relational context
-// across neighborhoods and gives message passing its role (cf. Figure 2
-// of the paper, where C1 holds a- and b-references but no c-references).
+// neighborhood is patched by adding its missing endpoint to the
+// lowest-id neighborhood containing the other endpoint. The result
+// covers every relation tuple exactly as Definition 7 requires, while
+// neighborhoods stay close to canopy size — which is what fragments
+// relational context across neighborhoods and gives message passing its
+// role (cf. Figure 2 of the paper, where C1 holds a- and b-references
+// but no c-references).
+//
+// Placement is id-based, not size-based, deliberately: canopy emission
+// gives a record's neighborhoods stable ids under ingestion (old seeds
+// re-emit in order, new canopies append), so picking the lowest
+// containing id keeps patch placement — and with it the whole cover —
+// overwhelmingly stable when records are only appended. That stability
+// is what lets the delta Index report most ingestion batches as
+// additive and the incremental pipeline warm-start instead of re-running
+// cold; a size-based rule re-routes patches every time any neighborhood
+// grows.
 func GreedyTotalCover(sets [][]core.EntityID, rel *graph.Graph) [][]core.EntityID {
+	n := rel.N()
+	for _, set := range sets {
+		for _, e := range set {
+			if int(e) >= n {
+				n = int(e) + 1
+			}
+		}
+	}
 	out := make([][]core.EntityID, len(sets))
 	member := make([]map[core.EntityID]bool, len(sets))
-	containing := make(map[core.EntityID][]int)
+	containing := make([][]int32, n)
 	for i, set := range sets {
 		out[i] = append([]core.EntityID(nil), set...)
 		member[i] = make(map[core.EntityID]bool, len(set))
 		for _, e := range set {
 			member[i][e] = true
-			containing[e] = append(containing[e], i)
+			containing[e] = append(containing[e], int32(i))
 		}
 	}
 	share := func(u, v core.EntityID) bool {
@@ -370,16 +390,19 @@ func GreedyTotalCover(sets [][]core.EntityID, rel *graph.Graph) [][]core.EntityI
 		}
 		return false
 	}
-	smallestWith := func(e core.EntityID) int {
-		best := -1
+	// Membership lists start ascending and gain only patched (arbitrary)
+	// ids at the tail, so the lowest id is the head unless a patch
+	// undercut it — track the minimum explicitly.
+	lowestWith := func(e core.EntityID) int32 {
+		best := int32(-1)
 		for _, s := range containing[e] {
-			if best < 0 || len(out[s]) < len(out[best]) {
+			if best < 0 || s < best {
 				best = s
 			}
 		}
 		return best
 	}
-	add := func(s int, e core.EntityID) {
+	add := func(s int32, e core.EntityID) {
 		out[s] = append(out[s], e)
 		member[s][e] = true
 		containing[e] = append(containing[e], s)
@@ -389,11 +412,11 @@ func GreedyTotalCover(sets [][]core.EntityID, rel *graph.Graph) [][]core.EntityI
 			if v <= u || share(u, v) {
 				continue
 			}
-			su, sv := smallestWith(u), smallestWith(v)
+			su, sv := lowestWith(u), lowestWith(v)
 			switch {
 			case su < 0 && sv < 0:
 				// Neither endpoint covered (cannot happen for covers).
-			case sv < 0 || (su >= 0 && len(out[su]) <= len(out[sv])):
+			case sv < 0 || (su >= 0 && su <= sv):
 				add(su, v)
 			default:
 				add(sv, u)
@@ -409,10 +432,30 @@ func GreedyTotalCover(sets [][]core.EntityID, rel *graph.Graph) [][]core.EntityI
 // AlignedExpand grows each canopy with bounded relational context: for
 // every name-similar pair (a, b) inside the canopy, the endpoints of up
 // to maxAligned aligned coauthor pairs — (c1, c2) with c1 ∈ N(a),
-// c2 ∈ N(b) and similar names — are added. Aligned pairs are chosen in
-// deterministic (c1, c2) order. The result is NOT necessarily total;
-// follow with GreedyTotalCover.
+// c2 ∈ N(b) and similar names — are added.
+//
+// When more than maxAligned pairs qualify, the kept ones are those with
+// the EARLIEST-ingested endpoints: candidates are ranked by highest
+// endpoint id ascending (then lowest endpoint, then c1). Because
+// appended records always carry higher ids than everything before them,
+// a pair involving a new record can never outrank a previously chosen
+// all-old pair — the selection, and with it the whole cover, is stable
+// under record ingestion (the property the incremental Index relies
+// on). The result is NOT necessarily total; run GreedyTotalCover first.
 func AlignedExpand(d *bib.Dataset, sets [][]core.EntityID, maxAligned int) [][]core.EntityID {
+	return alignedExpandInto(d, sets, sets, maxAligned)
+}
+
+// alignedExpandInto is AlignedExpand with the pair source decoupled from
+// the expansion target: the name-similar (a, b) pairs driving the
+// expansion are enumerated over pairSets[i], while members are added to
+// (a copy of) sets[i]. BuildCover passes the raw canopies as the pair
+// source and the totality-patched sets as the target — patch members are
+// co-located for Definition 7, not name-similar, so scanning them for
+// driving pairs would cost quadratic similarity work for nothing, and
+// the canopy pair source is append-stable under ingestion by
+// construction. pairSets[i] must be a subset of sets[i].
+func alignedExpandInto(d *bib.Dataset, pairSets, sets [][]core.EntityID, maxAligned int) [][]core.EntityID {
 	if maxAligned <= 0 {
 		return sets
 	}
@@ -421,7 +464,21 @@ func AlignedExpand(d *bib.Dataset, sets [][]core.EntityID, maxAligned int) [][]c
 	for i := range d.Refs {
 		parsed[i] = similarity.ParseName(d.Refs[i].Name)
 	}
+	// Sets overlap heavily and the coauthor products revisit the same
+	// pairs constantly; one cached similarity evaluation per distinct
+	// pair replaces thousands of repeated (allocating) Jaro runs.
+	levels := map[core.PairKey]similarity.Level{}
+	lvl := func(x, y core.EntityID) similarity.Level {
+		k := core.MakePair(x, y).Key()
+		if v, ok := levels[k]; ok {
+			return v
+		}
+		v := similarity.NameLevel(parsed[x], parsed[y])
+		levels[k] = v
+		return v
+	}
 	out := make([][]core.EntityID, len(sets))
+	var combos []alignedPair // reused scratch
 	for si, set := range sets {
 		member := make(map[core.EntityID]bool, len(set))
 		expanded := append([]core.EntityID(nil), set...)
@@ -434,31 +491,38 @@ func AlignedExpand(d *bib.Dataset, sets [][]core.EntityID, maxAligned int) [][]c
 				expanded = append(expanded, e)
 			}
 		}
-		for i := 0; i < len(set); i++ {
-			for j := i + 1; j < len(set); j++ {
-				a, b := set[i], set[j]
-				if similarity.NameLevel(parsed[a], parsed[b]) == similarity.LevelNone {
+		pairSet := pairSets[si]
+		for i := 0; i < len(pairSet); i++ {
+			for j := i + 1; j < len(pairSet); j++ {
+				a, b := pairSet[i], pairSet[j]
+				if lvl(a, b) == similarity.LevelNone {
 					continue
 				}
-				taken := 0
+				// Gather the coauthor combinations (cheap, no similarity
+				// yet), order them by the ingestion-stable priority, and
+				// only then test name similarity, stopping at maxAligned
+				// qualifying pairs — the expensive comparisons stay
+				// proportional to the scan prefix, not the full product.
+				combos = combos[:0]
 				for _, c1 := range rel.Neighbors(a) {
+					for _, c2 := range rel.Neighbors(b) {
+						if c1 != c2 {
+							combos = append(combos, alignedPair{c1: c1, c2: c2})
+						}
+					}
+				}
+				slices.SortFunc(combos, alignedPair.compare)
+				taken := 0
+				for _, q := range combos {
 					if taken >= maxAligned {
 						break
 					}
-					for _, c2 := range rel.Neighbors(b) {
-						if taken >= maxAligned {
-							break
-						}
-						if c1 == c2 {
-							continue
-						}
-						if similarity.NameLevel(parsed[c1], parsed[c2]) == similarity.LevelNone {
-							continue
-						}
-						add(c1)
-						add(c2)
-						taken++
+					if lvl(q.c1, q.c2) == similarity.LevelNone {
+						continue
 					}
+					add(q.c1)
+					add(q.c2)
+					taken++
 				}
 			}
 		}
@@ -466,6 +530,31 @@ func AlignedExpand(d *bib.Dataset, sets [][]core.EntityID, maxAligned int) [][]c
 		out[si] = expanded
 	}
 	return out
+}
+
+// alignedPair is one (c1, c2) aligned-coauthor candidate.
+type alignedPair struct{ c1, c2 core.EntityID }
+
+// compare ranks by highest endpoint ascending, then lowest endpoint,
+// then c1 — the ingestion-stable priority of AlignedExpand (a strict
+// total order over distinct combinations).
+func (p alignedPair) compare(q alignedPair) int {
+	pmax, pmin := p.c1, p.c2
+	if pmax < pmin {
+		pmax, pmin = pmin, pmax
+	}
+	qmax, qmin := q.c1, q.c2
+	if qmax < qmin {
+		qmax, qmin = qmin, qmax
+	}
+	switch {
+	case pmax != qmax:
+		return int(pmax) - int(qmax)
+	case pmin != qmin:
+		return int(pmin) - int(qmin)
+	default:
+		return int(p.c1) - int(q.c1)
+	}
 }
 
 // BuildCover constructs the total cover for a bibliography dataset:
@@ -496,11 +585,20 @@ func BuildCoverContext(ctx context.Context, d *bib.Dataset, cfg Config, shards i
 	if cfg.FullBoundary {
 		sets = ExpandBoundary(sets, d.Coauthor())
 	} else {
-		sets = AlignedExpand(d, sets, cfg.MaxAligned)
+		// Totality patching runs FIRST, on the raw canopies: canopy sets
+		// and their ids are append-stable under record ingestion, so
+		// patch placement (lowest containing id) never moves for old
+		// edges and the cover stays additive across deltas — the
+		// property the incremental Index exploits. Aligned relational
+		// context is absorbed afterwards (driven by the canopy pairs,
+		// added to the patched sets); it only grows sets and cannot
+		// re-route patches.
+		canopies := sets
+		sets = GreedyTotalCover(canopies, d.Coauthor())
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sets = GreedyTotalCover(sets, d.Coauthor())
+		sets = alignedExpandInto(d, canopies, sets, cfg.MaxAligned)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

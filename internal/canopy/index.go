@@ -1,0 +1,295 @@
+package canopy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bib"
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// Index is the mutable blocking state of the incremental ingestion path:
+// the q-gram structures of BuildCover — normalized names, gram multisets,
+// the inverted gram index — plus a cached loose-candidate list per
+// record. New records are absorbed with Add, which only scores the
+// arriving suffix against the index (the candidate list of a record can
+// only *grow* under ingestion, because postings are append-only), and
+// then re-emits canopies and the total cover from the cached lists.
+//
+// The cover Add produces is byte-identical to rebuilding from scratch
+// with BuildCover on the union dataset — the property the differential
+// harness and FuzzIndexAdd pin — so an incremental pipeline and a cold
+// one agree on the blocking stage exactly.
+//
+// Index methods serialize internally, so concurrent Adds do not corrupt
+// state — but the SECOND of two concurrent Adds still observes the
+// first one's ingestion. Callers advancing a shared stream from a known
+// base should use AddFrom, which detects that atomically.
+type Index struct {
+	cfg Config
+
+	mu       sync.Mutex
+	n        int                // records ingested so far
+	grams    []map[string]int   // q-gram multiset per record
+	postings map[string][]int32 // gram -> ids containing it, ascending
+	cands    [][]scored         // loose candidates per record, ascending id
+
+	prevSets map[string]bool   // content keys of the previous cover's sets
+	prevByID [][]core.EntityID // previous cover's sets by id (aliases, read-only)
+	cover    *core.Cover       // cover built by the last Add
+}
+
+// ErrStale reports that AddFrom found the index already advanced past
+// the caller's base — another ingestion got there first (a forked or
+// concurrent stream). The caller's view is outdated; rebuild from its
+// own records.
+var ErrStale = errors.New("canopy: index advanced past the caller's base")
+
+// Delta reports what one Add changed: the appended entities and which
+// neighborhoods of the new cover cannot be assumed unchanged.
+type Delta struct {
+	// NewEntities are the record ids ingested by this Add (the dense
+	// suffix [oldLen, newLen) of the union dataset).
+	NewEntities []core.EntityID
+	// Changed are the ids of cover sets with no content-identical
+	// counterpart in the previous cover: brand-new neighborhoods plus
+	// every neighborhood whose membership shifted. Together with the
+	// entity- and candidate-level Affected expansion these are the
+	// neighborhoods a warm-started run must re-activate.
+	Changed []int32
+	// Additive reports whether the new cover only GREW in place: set ids
+	// are stable under ingestion (old seeds emit their canopies in the
+	// same order, new ones append), and Additive is true when every
+	// previous set is a subset of the set with the same id. That is the
+	// warm-start safety condition — grown neighborhoods can only grow a
+	// monotone matcher's output, so prior matches remain valid committed
+	// evidence. When false (the total-cover patching moved a boundary
+	// member elsewhere, shrinking some neighborhood relative to its
+	// predecessor), prior evidence may be unreproducible from scratch and
+	// the caller must fall back to a full re-run.
+	Additive bool
+	// Regressed lists the set ids violating Additive (empty when
+	// Additive) — diagnostics for the forced re-run path.
+	Regressed []int32
+}
+
+// NewIndex returns an empty delta index. The configuration is validated
+// once here; Add never re-validates.
+func NewIndex(cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Index{cfg: cfg, postings: map[string][]int32{}, prevSets: map[string]bool{}}, nil
+}
+
+// Config returns the blocking configuration the index was built with.
+// Covers are only comparable between identically configured indexes.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Len returns the number of records ingested so far.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.n
+}
+
+// Cover returns the cover built by the last Add (nil before the first).
+func (ix *Index) Cover() *core.Cover {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.cover
+}
+
+// Add ingests the new suffix of the union dataset d — the records
+// d.Refs[ix.Len():] — into the q-gram structures, rebuilds the total
+// cover over all of d, and reports the delta. The caller owns dataset
+// synthesis: d must extend the previously ingested records in place
+// (names of records [0, ix.Len()) unchanged), which DatasetFromRecords
+// guarantees for appended record batches.
+//
+// Cost is proportional to the delta: each new record is scored once
+// against the gram index (exactly one seed probe, as in Canopies), old
+// records are never re-scored, and only canopy emission plus cover
+// patching — bookkeeping over cached candidate lists — runs over the
+// full corpus. A canceled ctx aborts between phases with ctx.Err().
+func (ix *Index) Add(ctx context.Context, d *bib.Dataset) (*core.Cover, *Delta, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.add(ctx, d)
+}
+
+// AddFrom is Add for shared streams: it atomically verifies the index
+// still sits at the caller's base record count before ingesting, and
+// returns ErrStale if another Add advanced it first. This closes the
+// check-then-act gap of probing Len before Add from concurrent or
+// forked callers.
+func (ix *Index) AddFrom(ctx context.Context, d *bib.Dataset, base int) (*core.Cover, *Delta, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.n != base {
+		return nil, nil, fmt.Errorf("%w (index at %d, caller at %d)", ErrStale, ix.n, base)
+	}
+	return ix.add(ctx, d)
+}
+
+func (ix *Index) add(ctx context.Context, d *bib.Dataset) (*core.Cover, *Delta, error) {
+	n := d.NumRefs()
+	if n < ix.n {
+		return nil, nil, fmt.Errorf("canopy: index holds %d records but dataset has %d (records must only be appended)", ix.n, n)
+	}
+	if n == ix.n && ix.cover != nil {
+		// Nothing arrived: the cover is unchanged, which is trivially
+		// additive.
+		return ix.cover, &Delta{Additive: true}, nil
+	}
+	delta := &Delta{NewEntities: make([]core.EntityID, 0, n-ix.n)}
+
+	// Phase 1 — score the arriving suffix. Inserting a record's grams
+	// into the postings *before* probing makes the record its own
+	// candidate (jaccard 1 ≥ Loose), exactly as the batch scorer's
+	// self-probe does, and lets later records of the same batch see
+	// earlier ones.
+	seen := map[int32]bool{}
+	for id := ix.n; id < n; id++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		delta.NewEntities = append(delta.NewEntities, core.EntityID(id))
+		g := similarity.QGrams(normalize(d.Refs[id].Name), ix.cfg.Q)
+		ix.grams = append(ix.grams, g)
+		ix.cands = append(ix.cands, nil)
+		for gram := range g {
+			ix.postings[gram] = append(ix.postings[gram], int32(id))
+		}
+		clear(seen)
+		var own []scored
+		for gram := range g {
+			for _, j := range ix.postings[gram] {
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				if s := jaccard(g, ix.grams[j]); s >= ix.cfg.Loose {
+					own = append(own, scored{id: j, sim: s})
+					if int(j) != id {
+						// The candidate relation is symmetric and new ids
+						// exceed all previous ones, so appending keeps
+						// cands[j] in ascending id order.
+						ix.cands[j] = append(ix.cands[j], scored{id: core.EntityID(id), sim: s})
+					}
+				}
+			}
+		}
+		sort.Slice(own, func(a, b int) bool { return own[a].id < own[b].id })
+		ix.cands[id] = own
+	}
+	ix.n = n
+
+	// Phase 2 — re-emit canopies over the full corpus from the cached
+	// candidate lists: the serial emission of CanopiesContext verbatim,
+	// with the scoring already done.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	sets := ix.emit()
+
+	// Phase 3 — total-cover construction, identical to BuildCover:
+	// totality patching on the append-stable canopies first, aligned
+	// context second (see BuildCoverContext on why this order keeps the
+	// cover additive under ingestion).
+	if ix.cfg.FullBoundary {
+		sets = ExpandBoundary(sets, d.Coauthor())
+	} else {
+		canopies := sets
+		sets = GreedyTotalCover(canopies, d.Coauthor())
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		sets = alignedExpandInto(d, canopies, sets, ix.cfg.MaxAligned)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	ix.cover = core.NewCover(n, sets)
+
+	// Phase 4 — diff against the previous cover, by content (Changed)
+	// and by id (Additive). Set ids are stable under ingestion, so the
+	// id-wise subset test detects neighborhoods that SHRANK relative to
+	// their predecessor — the case that invalidates warm starts.
+	next := make(map[string]bool, len(ix.cover.Sets))
+	delta.Additive = true
+	for i, set := range ix.cover.Sets {
+		key := setKey(set)
+		next[key] = true
+		if !ix.prevSets[key] {
+			delta.Changed = append(delta.Changed, int32(i))
+		}
+		if i < len(ix.prevByID) && !subsetOf(ix.prevByID[i], set) {
+			delta.Additive = false
+			delta.Regressed = append(delta.Regressed, int32(i))
+		}
+	}
+	ix.prevSets = next
+	ix.prevByID = ix.cover.Sets
+	return ix.cover, delta, nil
+}
+
+// subsetOf reports a ⊆ b for ascending-sorted entity slices.
+func subsetOf(a, b []core.EntityID) bool {
+	j := 0
+	for _, e := range a {
+		for j < len(b) && b[j] < e {
+			j++
+		}
+		if j >= len(b) || b[j] != e {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// emit runs the canopy emission loop of CanopiesContext over the cached
+// candidate lists (already loose-filtered and id-sorted).
+func (ix *Index) emit() [][]core.EntityID {
+	inPool := make([]bool, ix.n)
+	for i := range inPool {
+		inPool[i] = true
+	}
+	var canopies [][]core.EntityID
+	for seed := 0; seed < ix.n; seed++ {
+		if !inPool[seed] {
+			continue
+		}
+		kept := ix.cands[seed]
+		if len(kept) == 0 {
+			kept = []scored{{id: core.EntityID(seed), sim: 1}}
+		}
+		if ix.cfg.MaxNeighborhood > 0 && len(kept) > ix.cfg.MaxNeighborhood {
+			kept = capCanopy(kept, core.EntityID(seed), ix.cfg.MaxNeighborhood)
+		}
+		canopy := make([]core.EntityID, len(kept))
+		for i, c := range kept {
+			canopy[i] = c.id
+			if c.sim >= ix.cfg.Tight {
+				inPool[c.id] = false
+			}
+		}
+		inPool[seed] = false
+		canopies = append(canopies, canopy)
+	}
+	return canopies
+}
+
+// setKey renders a sorted entity slice as a map key for content diffing.
+func setKey(set []core.EntityID) string {
+	b := make([]byte, 0, len(set)*4)
+	for _, e := range set {
+		b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(b)
+}

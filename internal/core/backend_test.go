@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -162,14 +163,16 @@ func TestCheckpointResumeAtEveryBoundary(t *testing.T) {
 	}
 }
 
-// countingMatcher wraps a matcher and counts Match invocations.
+// countingMatcher wraps a matcher and counts Match invocations. The
+// counter is atomic so the wrapper stays race-free under backends that
+// evaluate neighborhoods concurrently.
 type countingMatcher struct {
 	*testmodel.Model
-	calls int
+	calls atomic.Int64
 }
 
 func (c *countingMatcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.PairSet {
-	c.calls++
+	c.calls.Add(1)
 	return c.Model.Match(entities, pos, neg)
 }
 
@@ -184,14 +187,14 @@ func TestResumeCompletedTrail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wrapped.calls = 0
+	wrapped.calls.Store(0)
 	resumed, err := core.RunBackend(bg, cfg, "SMP", core.PoolBackend{},
 		core.CheckpointConfig{Dir: dir, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wrapped.calls != 0 {
-		t.Errorf("resuming a completed trail called the matcher %d times", wrapped.calls)
+	if wrapped.calls.Load() != 0 {
+		t.Errorf("resuming a completed trail called the matcher %d times", wrapped.calls.Load())
 	}
 	if !resumed.Matches.Equal(full.Matches) {
 		t.Errorf("rebuilt result diverges: %d vs %d matches", resumed.Matches.Len(), full.Matches.Len())

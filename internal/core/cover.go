@@ -180,3 +180,31 @@ func (c *Cover) Affected(newMatches []Pair, rel *graph.Graph) []int32 {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// AffectedEntities is the entity-level analogue of Affected: the ids of
+// neighborhoods containing one of the given entities, or an entity
+// adjacent to one in rel. It is what an ingested delta activates — the
+// neighborhoods whose scope or boundary evidence a batch of new entities
+// can touch. rel may be nil, in which case only containment applies.
+func (c *Cover) AffectedEntities(entities []EntityID, rel *graph.Graph) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	visit := func(e EntityID) {
+		for _, id := range c.containing[e] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	for _, e := range entities {
+		visit(e)
+		if rel != nil {
+			for _, u := range rel.Neighbors(e) {
+				visit(u)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -104,6 +104,7 @@ func MMP(ctx context.Context, cfg Config) (*Result, error) {
 			res.Stats.MaxRevisits = v
 		}
 	}
+	res.Messages = copyMessages(store.Messages())
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

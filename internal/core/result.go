@@ -10,6 +10,13 @@ type Result struct {
 	Scheme  string
 	Matches PairSet
 	Stats   RunStats
+
+	// Messages holds the run's outstanding maximal messages at
+	// termination (MMP only; nil otherwise): the all-or-nothing sets
+	// that never promoted. Together with Matches they are the warm-start
+	// seed an incremental continuation needs — a later delta's evidence
+	// may yet promote them.
+	Messages [][]Pair
 }
 
 // RunStats instruments a run; the Theorem 3/5 complexity bounds are

@@ -168,15 +168,32 @@ func (d *RoundDriver) RoundDelta() []PairKey {
 	return delta
 }
 
-// finish seals the result (max revisits, wall clock) and returns it.
+// finish seals the result (max revisits, outstanding messages, wall
+// clock) and returns it.
 func (d *RoundDriver) finish() *Result {
 	for _, v := range d.visits {
 		if v > d.res.Stats.MaxRevisits {
 			d.res.Stats.MaxRevisits = v
 		}
 	}
+	if d.store != nil {
+		d.res.Messages = copyMessages(d.store.Messages())
+	}
 	d.res.Stats.Elapsed = d.prior + time.Since(d.start)
 	return d.res
+}
+
+// copyMessages deep-copies a message view so results never alias a
+// store's memoized internals.
+func copyMessages(msgs [][]Pair) [][]Pair {
+	if len(msgs) == 0 {
+		return nil
+	}
+	out := make([][]Pair, len(msgs))
+	for i, msg := range msgs {
+		out[i] = slices.Clone(msg)
+	}
+	return out
 }
 
 // RunBackend executes a neighborhood scheme ("NO-MP", "SMP", "MMP") on

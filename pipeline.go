@@ -2,11 +2,14 @@ package cem
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bib"
 	"repro/internal/canopy"
+	"repro/match"
 )
 
 // Pipeline is the end-to-end ingestion→blocking→matching→evaluation
@@ -148,6 +151,29 @@ type PipelineResult struct {
 	// construction; MatchingTime is the wall time of the scheme run.
 	BlockingTime time.Duration
 	MatchingTime time.Duration
+
+	// WarmStarted reports whether the matching stage ran as an
+	// incremental continuation (Update's fast path): seeded with the
+	// prior evidence and limited to the delta's affected neighborhoods.
+	// False for Run, for a first batch, and for forced full re-runs.
+	WarmStarted bool
+	// ForcedRerun reports that Update detected a non-additive delta —
+	// ingestion rearranged existing neighborhoods instead of only
+	// growing them — and fell back to a full cold run to preserve
+	// equivalence with from-scratch matching.
+	ForcedRerun bool
+
+	// records is the full ingested record stream (in arrival order) and
+	// index the mutable blocking state — the carry-over Update needs to
+	// ingest the next batch incrementally. index is nil when the result
+	// came from Run (Update then replays the records once to rebuild it).
+	// blocking stamps the configuration that produced this result: a
+	// prior built under a DIFFERENT blocking config cannot seed a warm
+	// start (its evidence is another cover's fixpoint), so Update forces
+	// a cold run for it.
+	records  []Record
+	index    *canopy.Index
+	blocking CanopyConfig
 }
 
 // Run executes the pipeline on the given records. The context cancels
@@ -214,6 +240,8 @@ func (p *Pipeline) run(ctx context.Context, records []Record, resume bool) (*Pip
 		Labeled:      labeled,
 		BlockingTime: blockingTime,
 		MatchingTime: time.Since(start),
+		records:      append([]Record(nil), records...),
+		blocking:     p.blocking,
 	}
 	if labeled {
 		report := exp.Evaluate(res)
@@ -222,4 +250,208 @@ func (p *Pipeline) run(ctx context.Context, records []Record, resume bool) (*Pip
 		out.BCubed = &bcubed
 	}
 	return out, nil
+}
+
+// Update ingests a batch of new records on top of a prior result — the
+// incremental execution path. The blocking stage is updated in place
+// (canopy.Index.Add scores only the arriving batch against the q-gram
+// index and re-emits the cover, byte-identical to a scratch rebuild),
+// and the matching stage is warm-started from the prior run's evidence
+// and outstanding maximal messages with an initial active set limited to
+// the neighborhoods the delta touched: changed or new cover sets, sets
+// containing a new entity or one of its coauthors, and sets reached by
+// candidate pairs the delta introduced. Everything else stays at its
+// prior fixpoint unless a new match re-activates it.
+//
+// prior == nil runs the first batch cold (equivalent to Run) while
+// retaining the streaming blocking state, so a fold of Update over a
+// record stream is the canonical ingestion loop. The delta index scores
+// arrivals serially (WithShards applies to Run's from-scratch blocking
+// only). Updates from the same prior may run concurrently or fork a
+// stream: the index advance is atomic, and a branch that lost the race
+// (or holds a stale prior) transparently rebuilds its own blocking
+// state from its own records. For the built-in
+// (delta-monotone, well-behaved) matchers the result after every batch
+// is identical to a cold Run over all records ingested so far — the
+// property the incremental differential harness pins — at a fraction of
+// the matcher calls. Metrics are computed only when every ingested
+// record is labeled; unlabeled streams skip them without error. Schemes
+// without round structure (FULL, UB) have no incremental path.
+//
+// A prior produced under a different blocking configuration is detected
+// (its evidence is another cover's fixpoint) and likewise forces a cold
+// run; matcher and experiment options are NOT fingerprinted — hand a
+// prior only to Pipelines sharing them (the matcher name itself is
+// checked by the snapshot plumbing).
+func (p *Pipeline) Update(ctx context.Context, prior *PipelineResult, newRecords []Record) (*PipelineResult, error) {
+	if len(newRecords) == 0 {
+		return nil, fmt.Errorf("cem: pipeline update: no new records")
+	}
+	if coreScheme(p.scheme) == "" {
+		return nil, fmt.Errorf("cem: pipeline update: scheme %q has no incremental path", p.scheme)
+	}
+
+	start := time.Now()
+	index, records, err := p.carryOver(ctx, prior)
+	if err != nil {
+		return nil, err
+	}
+	base := len(records)
+	records = append(records, newRecords...)
+	raw, labeled := toBibRecords(records)
+	d, err := bib.DatasetFromRecords(p.name, raw)
+	if err != nil {
+		return nil, fmt.Errorf("cem: pipeline update: %w", err)
+	}
+	cover, delta, err := index.AddFrom(ctx, d, base)
+	if errors.Is(err, canopy.ErrStale) {
+		// Another Update advanced the shared index past this prior (a
+		// forked or concurrent stream): this branch's view is outdated,
+		// so rebuild its own blocking state from its own records.
+		if index, err = p.rebuildIndex(ctx, records[:base]); err == nil {
+			cover, delta, err = index.AddFrom(ctx, d, base)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	blockingTime := time.Since(start)
+
+	opts := DefaultOptions()
+	for _, o := range p.expOpts {
+		o(&opts)
+	}
+	opts.Canopy = p.blocking
+	exp, err := setup(d, opts, cover)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := exp.Runner(p.matcher, p.runnerOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	var res *Result
+	if prior == nil || !delta.Additive || prior.blocking != p.blocking {
+		// First batch; or the delta rearranged existing neighborhoods (a
+		// total-cover boundary member moved, shrinking some set relative
+		// to its predecessor); or the prior was produced under a
+		// different blocking configuration (its evidence is another
+		// cover's fixpoint): prior evidence is no longer guaranteed to
+		// be re-derivable from scratch, so a full cold run is forced.
+		// The streaming blocking state still carries over — later
+		// additive batches warm-start again.
+		res, err = runner.Run(ctx, p.scheme)
+	} else {
+		snap, serr := prior.Experiment.Snapshot(prior.Result)
+		if serr != nil {
+			return nil, serr
+		}
+		res, err = runner.RunFrom(ctx, p.scheme, snap, affectedByDelta(exp, prior.Experiment, delta))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &PipelineResult{
+		Result:       res,
+		Experiment:   exp,
+		Records:      len(records),
+		Labeled:      labeled,
+		BlockingTime: blockingTime,
+		MatchingTime: time.Since(start),
+		WarmStarted:  prior != nil && delta.Additive && prior.blocking == p.blocking,
+		ForcedRerun:  prior != nil && !(delta.Additive && prior.blocking == p.blocking),
+		records:      records,
+		index:        index,
+		blocking:     p.blocking,
+	}
+	if labeled {
+		report := exp.Evaluate(res)
+		bcubed := exp.EvaluateBCubed(res)
+		out.Report = &report
+		out.BCubed = &bcubed
+	}
+	return out, nil
+}
+
+// carryOver extracts (or reconstructs) the streaming blocking state of a
+// prior result and returns it with a private copy of the prior records.
+// A prior produced by Run carries no index; its records are replayed
+// through a fresh one — a one-time cost, after which every Update is
+// incremental. The returned index may still be shared with other
+// branches of an Update chain; Update advances it through AddFrom,
+// which detects a stale base atomically and triggers a fresh rebuild.
+func (p *Pipeline) carryOver(ctx context.Context, prior *PipelineResult) (*canopy.Index, []Record, error) {
+	if prior == nil {
+		index, err := canopy.NewIndex(p.blocking)
+		return index, nil, err
+	}
+	if len(prior.records) == 0 {
+		return nil, nil, fmt.Errorf("cem: pipeline update: prior result carries no ingestion state (was it produced by this Pipeline?)")
+	}
+	records := append([]Record(nil), prior.records...)
+	if prior.index != nil && prior.index.Config() == p.blocking {
+		return prior.index, records, nil
+	}
+	// No index (prior from Run), or one built under a DIFFERENT blocking
+	// configuration (the prior came through another Pipeline): its cover
+	// would not match this pipeline's cold runs, so replay fresh.
+	index, err := p.rebuildIndex(ctx, records)
+	return index, records, err
+}
+
+// rebuildIndex replays records through a fresh delta index.
+func (p *Pipeline) rebuildIndex(ctx context.Context, records []Record) (*canopy.Index, error) {
+	index, err := canopy.NewIndex(p.blocking)
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := toBibRecords(records)
+	d, err := bib.DatasetFromRecords(p.name, raw)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := index.Add(ctx, d); err != nil {
+		return nil, err
+	}
+	return index, nil
+}
+
+// affectedByDelta assembles the warm-start active seed: the cover ids an
+// ingested delta may have invalidated. Changed covers membership shifts,
+// AffectedEntities covers scope/boundary contact with the new entities,
+// and the candidate diff covers neighborhoods of old entities whose
+// in-scope variable set grew because a changed set co-located an old
+// pair for the first time (the candidate universe is cover-derived, so
+// a new set can add variables to an unchanged one).
+func affectedByDelta(exp, old *Experiment, delta *canopy.Delta) []int32 {
+	rel := exp.Dataset.Coauthor()
+	oldCands := match.NewPairSet()
+	for _, c := range old.Candidates {
+		oldCands.Add(c.Pair)
+	}
+	var newPairs []match.Pair
+	for _, c := range exp.Candidates {
+		if !oldCands.Has(c.Pair) {
+			newPairs = append(newPairs, c.Pair)
+		}
+	}
+	seen := map[int32]bool{}
+	var out []int32
+	for _, ids := range [][]int32{
+		delta.Changed,
+		exp.Cover.AffectedEntities(delta.NewEntities, rel),
+		exp.Cover.Affected(newPairs, rel),
+	} {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -19,6 +19,12 @@ type Result struct {
 	// Closed reports whether WithTransitiveClosure post-processed the
 	// match set.
 	Closed bool
+
+	// preClosure is the raw match set before transitive closure was
+	// applied (nil when Closed is false). Snapshots seed continuations
+	// from it: the engine's internal evidence is always the unclosed
+	// set, and closure re-composes at the end of every run.
+	preClosure match.PairSet
 }
 
 // Runner executes schemes for one experiment with one matcher under a
@@ -218,13 +224,73 @@ func (r *Runner) run(ctx context.Context, s Scheme, resume bool) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	return r.seal(raw), nil
+}
+
+// seal applies the runner's post-processing (transitive closure, stats
+// callback) to a raw engine result and wraps it with provenance.
+func (r *Runner) seal(raw *core.Result) *Result {
+	res := &Result{Result: raw, Matcher: r.name, Closed: r.closure}
 	if r.closure {
+		res.preClosure = raw.Matches
 		raw.Matches = r.exp.TransitiveClosure(raw.Matches)
 	}
 	if r.stats != nil {
 		r.stats(raw.Stats)
 	}
-	return &Result{Result: raw, Matcher: r.name, Closed: r.closure}, nil
+	return res
+}
+
+// RunFrom executes scheme s as a warm-started continuation: the run is
+// seeded with a prior snapshot's evidence and outstanding maximal
+// messages, and only the neighborhoods in activeSeed (plus whatever
+// their new matches re-activate) are evaluated — the incremental
+// counterpart of Run after records were ingested on top of the snapshot
+// run. The snapshot may come from a smaller experiment: its entity
+// space must embed into the current cover's (ids stable, only appended),
+// which is exactly what Pipeline.Update guarantees.
+//
+// The continuation runs on the round-based executor (the runner's
+// backend, or the shared-memory pool). With WithCheckpointDir the seed
+// itself is persisted as the trail's first record, so a killed
+// continuation resumes through the ordinary Runner.Resume path. For
+// well-behaved delta-monotone matchers the result is identical to a
+// cold Run over the grown experiment (see the incremental differential
+// harness); schemes without round structure (FULL, UB) have no
+// incremental path and are rejected.
+func (r *Runner) RunFrom(ctx context.Context, s Scheme, snap *Snapshot, activeSeed []int32) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("cem: RunFrom requires a snapshot (use Run for cold runs)")
+	}
+	cs := coreScheme(s)
+	if cs == "" {
+		return nil, fmt.Errorf("cem: scheme %q has no incremental path (no round structure)", s)
+	}
+	if snap.Scheme != "" && snap.Scheme != s {
+		return nil, fmt.Errorf("cem: snapshot was taken from scheme %q, continuing %q", snap.Scheme, s)
+	}
+	if snap.Matcher != "" && snap.Matcher != r.name {
+		return nil, fmt.Errorf("cem: snapshot was produced by matcher %q, continuing with %q", snap.Matcher, r.name)
+	}
+	if snap.Entities > r.exp.Cover.NumEntities {
+		return nil, fmt.Errorf("cem: snapshot spans %d entities but the cover holds %d (snapshots only embed into grown experiments)",
+			snap.Entities, r.exp.Cover.NumEntities)
+	}
+	if snap.Neighborhoods > r.exp.Cover.Len() {
+		return nil, fmt.Errorf("cem: snapshot spans %d neighborhoods but the cover holds %d (snapshots only embed into grown experiments)",
+			snap.Neighborhoods, r.exp.Cover.Len())
+	}
+	b := r.backend
+	if b == nil {
+		b = core.PoolBackend{}
+	}
+	warm := &core.WarmStart{Evidence: snap.Evidence, Messages: snap.Messages, Active: activeSeed}
+	raw, err := core.RunBackendFrom(ctx, r.coreConfig(), cs, b,
+		core.CheckpointConfig{Dir: r.ckptDir, Matcher: r.name}, warm)
+	if err != nil {
+		return nil, err
+	}
+	return r.seal(raw), nil
 }
 
 // GridConfig configures the simulated grid executor (§6.3). Aliased so
