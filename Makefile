@@ -27,7 +27,7 @@ BENCHTIME     ?= 5x
 # their own, much higher iteration floor.
 MATCHER_BENCHTIME ?= 500x
 
-.PHONY: build test race bench bench-json bench-compare cover cover-check fuzz fmt vet clean
+.PHONY: build test race bench bench-json bench-compare cover cover-check fuzz fmt vet clean service-smoke
 
 build:
 	$(GO) build $(GOFLAGS) ./...
@@ -79,6 +79,12 @@ cover-check:
 	echo "total coverage: $${total}% (committed floor: $${floor}%)"; \
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' \
 	  || { echo "FAIL: total coverage $${total}% dropped below the committed floor $${floor}%"; exit 1; }
+
+# service-smoke drives the emserve binary end to end as a black box:
+# start, POST, GET, SIGTERM, assert a clean checkpoint, restart into the
+# identical state. CI runs it as its own job.
+service-smoke:
+	bash scripts/service-smoke.sh
 
 # fuzz smoke-runs the engine's two correctness-critical fuzz targets:
 # dense-vs-naive scoring and the wire codec round trip (the nightly CI

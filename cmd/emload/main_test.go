@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestEmloadEmbeddedPass: the self-contained harness — embedded server,
+// concurrent writers and readers, journal-vs-cold verification — ends
+// in PASS on a small corpus.
+func TestEmloadEmbeddedPass(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-writers", "3", "-readers", "2", "-batch", "64", "-kind", "hepth", "-scale", "0.25"},
+		&out, io.Discard)
+	if err != nil {
+		t.Fatalf("emload failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), "byte-identical") {
+		t.Errorf("no verified PASS in output:\n%s", out.String())
+	}
+}
+
+// TestEmloadBadFlags: invalid load shapes are rejected.
+func TestEmloadBadFlags(t *testing.T) {
+	if err := run([]string{"-writers", "0"}, io.Discard, io.Discard); err == nil {
+		t.Error("zero writers accepted")
+	}
+	if err := run([]string{"-kind", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown corpus kind accepted")
+	}
+}

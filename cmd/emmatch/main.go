@@ -29,6 +29,7 @@ import (
 
 	cem "repro"
 	"repro/internal/bib"
+	"repro/internal/serve"
 	"repro/match"
 )
 
@@ -253,12 +254,14 @@ func runPipeline(path string, cfg pipelineConfig, stdout io.Writer) error {
 }
 
 // runIngest is the -ingest path: the record batches are replayed as an
-// incremental stream through Pipeline.Update — delta blocking plus
-// warm-started matching — printing one report per batch, annotated with
-// whether the batch warm-started or forced a full re-run.
+// incremental stream through the service's commit path (serve.Committer
+// over Pipeline.Update — delta blocking plus warm-started matching), so
+// the CLI replay and emserve's serving semantics cannot drift. One
+// report is printed per batch, annotated with whether the batch
+// warm-started or forced a full re-run; -v appends the pipeline's
+// cumulative counters at the end of the stream.
 func runIngest(paths []string, cfg pipelineConfig, stdout io.Writer) error {
-	var pipe *cem.Pipeline
-	var res *cem.PipelineResult
+	var committer *serve.Committer
 	for i, path := range paths {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -268,15 +271,20 @@ func runIngest(paths []string, cfg pipelineConfig, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if pipe == nil {
-			if pipe, err = cfg.newPipeline(name); err != nil {
+		if committer == nil {
+			pipe, err := cfg.newPipeline(name)
+			if err != nil {
+				return err
+			}
+			if committer, err = serve.NewCommitter(pipe); err != nil {
 				return err
 			}
 		}
-		res, err = pipe.Update(context.Background(), res, recs)
+		state, err := committer.Apply(context.Background(), recs)
 		if err != nil {
 			return fmt.Errorf("batch %d (%s): %w", i+1, path, err)
 		}
+		res := state.Result
 		mode := "cold"
 		switch {
 		case res.WarmStarted:
@@ -285,6 +293,11 @@ func runIngest(paths []string, cfg pipelineConfig, stdout io.Writer) error {
 			mode = "full re-run (non-additive delta)"
 		}
 		cfg.report(stdout, fmt.Sprintf("batch %d/%d %s [%s]", i+1, len(paths), path, mode), res)
+	}
+	if cfg.verbose && committer != nil {
+		s := committer.Pipeline().Stats()
+		fmt.Fprintf(stdout, "cumulative: %d updates (%d cold, %d warm, %d forced), %d matcher calls over %d records\n",
+			s.Updates, s.ColdStarts, s.WarmStarted, s.ForcedReruns, s.MatcherCalls, s.RecordsIngested)
 	}
 	return nil
 }

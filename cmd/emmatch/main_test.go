@@ -106,6 +106,9 @@ func TestIngestReplaysStream(t *testing.T) {
 	if !strings.Contains(out, "[warm]") && !strings.Contains(out, "full re-run") {
 		t.Errorf("ingest output reports no incremental batches:\n%s", out)
 	}
+	if !strings.Contains(out, "cumulative: 3 updates (1 cold,") {
+		t.Errorf("-v output lacks the cumulative pipeline counters:\n%s", out)
+	}
 
 	// The stream must land on the cold pipeline's match count.
 	records, err := cem.GenerateRecords(cem.DBLP, 0.1, 7)

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	cem "repro"
+)
+
+// Batcher coalesces asynchronously arriving ingest requests into delta
+// batches and feeds them to the committer strictly serially. A batch is
+// flushed as soon as it holds MaxBatch records (size bound) or as soon
+// as its oldest request has waited MaxDelay (latency bound), whichever
+// comes first. Backpressure is a bounded request queue: when QueueCap
+// requests are already waiting, Enqueue blocks the producer until a slot
+// frees up (or its context expires) instead of buffering without bound.
+type Batcher struct {
+	apply    func(context.Context, []cem.Record) (*Committed, error)
+	metrics  *Metrics
+	maxBatch int
+	maxDelay time.Duration
+
+	reqs chan ingestReq
+	done chan struct{}
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	// pending* mirror the loop's in-flight state for the queue-depth and
+	// ingest-lag gauges (scraped concurrently with the loop).
+	gaugeMu       sync.Mutex
+	pendingReqs   int
+	pendingRecs   int
+	oldestPending time.Time
+}
+
+// ingestReq is one producer's records plus its commit notification.
+type ingestReq struct {
+	recs []cem.Record
+	enq  time.Time
+	done chan ApplyResult
+}
+
+// ApplyResult notifies a waiting producer of its batch's fate.
+type ApplyResult struct {
+	State *Committed // the committed state that includes the request's records
+	Err   error
+}
+
+// BatcherConfig bounds the batcher. Zero values select the defaults.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch once it holds this many records
+	// (default 256). A single request larger than MaxBatch still commits
+	// as one batch — requests are never split.
+	MaxBatch int
+	// MaxDelay flushes a batch once its oldest request has waited this
+	// long (default 200ms): the ingest latency bound.
+	MaxDelay time.Duration
+	// QueueCap bounds the number of queued requests (default 64); full
+	// queues block producers (backpressure).
+	QueueCap int
+}
+
+func (c *BatcherConfig) defaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+}
+
+// NewBatcher starts a batcher over an apply function (normally
+// Committer.Apply). ctx is the apply context: canceling it aborts an
+// in-flight update (the kill path); use Close for graceful drains.
+func NewBatcher(ctx context.Context, cfg BatcherConfig, apply func(context.Context, []cem.Record) (*Committed, error), m *Metrics) *Batcher {
+	cfg.defaults()
+	b := &Batcher{
+		apply:    apply,
+		metrics:  m,
+		maxBatch: cfg.MaxBatch,
+		maxDelay: cfg.MaxDelay,
+		reqs:     make(chan ingestReq, cfg.QueueCap),
+		done:     make(chan struct{}),
+	}
+	go b.loop(ctx)
+	return b
+}
+
+// Enqueue submits records for ingestion and returns a channel that
+// receives exactly one ApplyResult when the batch containing the records
+// commits (or fails). Enqueue blocks while the queue is full; it returns
+// an error when ctx expires first or the batcher is closed.
+func (b *Batcher) Enqueue(ctx context.Context, records []cem.Record) (<-chan ApplyResult, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("serve: empty ingest request")
+	}
+	req := ingestReq{recs: records, enq: time.Now(), done: make(chan ApplyResult, 1)}
+
+	// The read lock makes the closed check and the send atomic against
+	// Close: Close takes the write lock before closing the channel, so a
+	// request past the check is always delivered — the loop keeps
+	// draining the queue, so a blocked send cannot deadlock Close.
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return nil, fmt.Errorf("serve: batcher is shut down")
+	}
+	select {
+	case b.reqs <- req:
+		if b.metrics != nil {
+			b.metrics.IngestedRecords.Add(int64(len(records)))
+		}
+		return req.done, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: ingest queue full: %w", ctx.Err())
+	}
+}
+
+// Close stops accepting new requests, flushes everything already queued
+// (graceful drain) and waits for the loop to exit. Safe to call more
+// than once.
+func (b *Batcher) Close() {
+	b.closeMu.Lock()
+	already := b.closed
+	b.closed = true
+	b.closeMu.Unlock()
+	if !already {
+		close(b.reqs)
+	}
+	<-b.done
+}
+
+// Depth reports the queued/pending request and record counts plus the
+// age of the oldest uncommitted request — the live gauges.
+func (b *Batcher) Depth() (reqs, recs int, oldest time.Duration) {
+	b.gaugeMu.Lock()
+	reqs, recs = b.pendingReqs, b.pendingRecs
+	if !b.oldestPending.IsZero() {
+		oldest = time.Since(b.oldestPending)
+	}
+	b.gaugeMu.Unlock()
+	reqs += len(b.reqs)
+	return reqs, recs, oldest
+}
+
+// setPending publishes the loop's in-flight state for Depth.
+func (b *Batcher) setPending(reqs []ingestReq, recs int) {
+	b.gaugeMu.Lock()
+	b.pendingReqs, b.pendingRecs = len(reqs), recs
+	if len(reqs) == 0 {
+		b.oldestPending = time.Time{}
+	} else {
+		b.oldestPending = reqs[0].enq
+	}
+	b.gaugeMu.Unlock()
+}
+
+// loop is the single consumer: it gathers requests into a pending batch
+// and flushes on the size bound, the latency bound, or shutdown drain.
+func (b *Batcher) loop(ctx context.Context) {
+	defer close(b.done)
+	var (
+		pending []ingestReq
+		count   int
+		timer   *time.Timer
+		timerC  <-chan time.Time
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		stopTimer()
+		recs := make([]cem.Record, 0, count)
+		for _, r := range pending {
+			recs = append(recs, r.recs...)
+		}
+		state, err := b.apply(ctx, recs)
+		if err == nil && b.metrics != nil {
+			now := time.Now()
+			for _, r := range pending {
+				b.metrics.IngestLag.Observe(now.Sub(r.enq).Seconds())
+			}
+		}
+		// Clear the gauges before notifying: a producer woken by its
+		// done channel must not still see its own records as pending.
+		flushed := pending
+		pending, count = nil, 0
+		b.setPending(pending, count)
+		for _, r := range flushed {
+			r.done <- ApplyResult{State: state, Err: err}
+		}
+	}
+	add := func(req ingestReq) {
+		pending = append(pending, req)
+		count += len(req.recs)
+		b.setPending(pending, count)
+		if count >= b.maxBatch {
+			flush()
+		} else if timerC == nil {
+			timer = time.NewTimer(b.maxDelay)
+			timerC = timer.C
+		}
+	}
+	for {
+		select {
+		case req, ok := <-b.reqs:
+			if !ok {
+				// Graceful drain: a closed channel still yields every
+				// buffered request (ok stays true until the queue is
+				// empty), so by the time ok is false only the current
+				// pending batch remains.
+				flush()
+				return
+			}
+			add(req)
+		case <-timerC:
+			flush()
+		}
+	}
+}

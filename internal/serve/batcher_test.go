@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	cem "repro"
+)
+
+// fakeApply records the batches an apply function received and lets the
+// test stall a flush to build up backpressure.
+type fakeApply struct {
+	mu      sync.Mutex
+	batches [][]cem.Record
+	seq     int
+	block   chan struct{} // non-nil: every apply waits for a receive
+	err     error
+}
+
+func (f *fakeApply) apply(ctx context.Context, recs []cem.Record) (*Committed, error) {
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	f.batches = append(f.batches, recs)
+	f.seq++
+	return &Committed{Seq: f.seq}, nil
+}
+
+func (f *fakeApply) applied() [][]cem.Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([][]cem.Record(nil), f.batches...)
+}
+
+func keys(n int, prefix string) []cem.Record {
+	out := make([]cem.Record, n)
+	for i := range out {
+		out[i] = cem.KeyRecord(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}
+
+// TestBatcherSizeBound: enqueues totaling MaxBatch flush immediately as
+// one batch, coalescing multiple requests.
+func TestBatcherSizeBound(t *testing.T) {
+	f := &fakeApply{}
+	b := NewBatcher(context.Background(), BatcherConfig{MaxBatch: 6, MaxDelay: time.Hour}, f.apply, nil)
+	defer b.Close()
+
+	var dones []<-chan ApplyResult
+	for i := 0; i < 3; i++ {
+		done, err := b.Enqueue(context.Background(), keys(2, fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dones = append(dones, done)
+	}
+	for i, done := range dones {
+		select {
+		case res := <-done:
+			if res.Err != nil {
+				t.Fatalf("request %d failed: %v", i, res.Err)
+			}
+			if res.State.Seq != 1 {
+				t.Errorf("request %d committed at seq %d, want 1 (one coalesced batch)", i, res.State.Seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d not committed (size bound did not flush)", i)
+		}
+	}
+	got := f.applied()
+	if len(got) != 1 || len(got[0]) != 6 {
+		t.Errorf("applied %d batches (first has %d records), want 1 batch of 6", len(got), len(got[0]))
+	}
+}
+
+// TestBatcherLatencyBound: a lone small request flushes once MaxDelay
+// elapses even though the size bound is far away.
+func TestBatcherLatencyBound(t *testing.T) {
+	f := &fakeApply{}
+	b := NewBatcher(context.Background(), BatcherConfig{MaxBatch: 1 << 20, MaxDelay: 20 * time.Millisecond}, f.apply, nil)
+	defer b.Close()
+
+	start := time.Now()
+	done, err := b.Enqueue(context.Background(), keys(1, "solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("latency bound did not flush")
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Errorf("flushed after %v, before the 20ms latency bound", waited)
+	}
+}
+
+// TestBatcherBackpressure: with a full queue and a stalled apply,
+// Enqueue blocks and honors context cancellation.
+func TestBatcherBackpressure(t *testing.T) {
+	f := &fakeApply{block: make(chan struct{})}
+	b := NewBatcher(context.Background(), BatcherConfig{MaxBatch: 1, MaxDelay: time.Hour, QueueCap: 1}, f.apply, nil)
+
+	// First request: immediately flushed (size bound 1) and stalled
+	// inside apply. Second request: sits in the queue. Third: blocked.
+	d1, err := b.Enqueue(context.Background(), keys(1, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d2 <-chan ApplyResult
+	for {
+		// The loop may not have consumed the first request yet; retry
+		// until the queue slot is actually occupied.
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		d2, err = b.Enqueue(ctx, keys(1, "b"))
+		cancel()
+		if err == nil {
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := b.Enqueue(ctx, keys(1, "c")); err == nil {
+		t.Fatal("Enqueue succeeded with a full queue and a stalled apply")
+	}
+
+	close(f.block) // un-stall: everything drains
+	for i, d := range []<-chan ApplyResult{d1, d2} {
+		select {
+		case res := <-d:
+			if res.Err != nil {
+				t.Fatalf("request %d failed after un-stall: %v", i, res.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never committed after un-stall", i)
+		}
+	}
+	b.Close()
+}
+
+// TestBatcherDrainOnClose: Close flushes everything already accepted and
+// further Enqueues fail.
+func TestBatcherDrainOnClose(t *testing.T) {
+	f := &fakeApply{}
+	b := NewBatcher(context.Background(), BatcherConfig{MaxBatch: 1 << 20, MaxDelay: time.Hour, QueueCap: 16}, f.apply, nil)
+
+	var dones []<-chan ApplyResult
+	for i := 0; i < 5; i++ {
+		done, err := b.Enqueue(context.Background(), keys(3, fmt.Sprintf("d%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dones = append(dones, done)
+	}
+	b.Close()
+	for i, done := range dones {
+		select {
+		case res := <-done:
+			if res.Err != nil {
+				t.Fatalf("drained request %d failed: %v", i, res.Err)
+			}
+		default:
+			t.Fatalf("request %d not flushed by Close", i)
+		}
+	}
+	total := 0
+	for _, batch := range f.applied() {
+		total += len(batch)
+	}
+	if total != 15 {
+		t.Errorf("drained %d records, want 15", total)
+	}
+	if _, err := b.Enqueue(context.Background(), keys(1, "late")); err == nil {
+		t.Error("Enqueue after Close succeeded")
+	}
+}
+
+// TestBatcherDepth: the gauges reflect queued work and clear after the
+// flush.
+func TestBatcherDepth(t *testing.T) {
+	f := &fakeApply{block: make(chan struct{})}
+	b := NewBatcher(context.Background(), BatcherConfig{MaxBatch: 2, MaxDelay: time.Hour, QueueCap: 8}, f.apply, nil)
+
+	done, err := b.Enqueue(context.Background(), keys(2, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flush is stalled inside apply; pending state should report it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reqs, recs, _ := b.Depth()
+		if reqs >= 1 && recs >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Depth never reported the pending batch (reqs=%d recs=%d)", reqs, recs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(f.block)
+	<-done
+	reqs, recs, oldest := b.Depth()
+	if reqs != 0 || recs != 0 || oldest != 0 {
+		t.Errorf("Depth after flush = (%d, %d, %v), want zeros", reqs, recs, oldest)
+	}
+	b.Close()
+}

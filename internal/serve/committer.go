@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cem "repro"
+)
+
+// Committer owns the single-writer commit path of the online service:
+// batches of records are applied serially through Pipeline.Update, each
+// batch optionally journaled to disk before it runs, and every
+// successful update is published as a new immutable Committed snapshot
+// via an atomic pointer swap. Readers call Snapshot at any time and get
+// the last committed state, never a torn intermediate.
+//
+// The same Committer drives `emmatch -ingest` batch replay (without a
+// journal), so the CLI's replay semantics and the service's serving
+// semantics are one code path and cannot drift.
+type Committer struct {
+	pipe       *cem.Pipeline
+	journalDir string
+	metrics    *Metrics
+
+	mu         sync.Mutex // serializes Apply/Recover
+	journalSeq int        // highest journaled batch number
+	cur        atomic.Pointer[Committed]
+}
+
+// CommitterOption customizes a Committer.
+type CommitterOption func(*Committer)
+
+// WithJournal persists every incoming batch to dir (created if missing)
+// as batch-NNNNNN.tsv BEFORE applying it, so a crash mid-update loses no
+// records: Recover replays the journal into an identical state. Without
+// a journal the committer is ephemeral (the replay-CLI mode).
+func WithJournal(dir string) CommitterOption {
+	return func(c *Committer) { c.journalDir = dir }
+}
+
+// WithMetrics wires the commit path into a metrics registry.
+func WithMetrics(m *Metrics) CommitterOption {
+	return func(c *Committer) { c.metrics = m }
+}
+
+// NewCommitter builds a committer over a pipeline. The pipeline's
+// scheme must have an incremental path (NO-MP/SMP/MMP) — Update rejects
+// FULL/UB on the first batch otherwise.
+func NewCommitter(pipe *cem.Pipeline, opts ...CommitterOption) (*Committer, error) {
+	if pipe == nil {
+		return nil, fmt.Errorf("serve: nil pipeline")
+	}
+	c := &Committer{pipe: pipe}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.journalDir != "" {
+		if err := os.MkdirAll(c.journalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: journal dir: %w", err)
+		}
+	}
+	c.cur.Store(emptyCommitted())
+	return c, nil
+}
+
+// Pipeline returns the pipeline the committer applies batches through
+// (for cumulative Pipeline.Stats reporting).
+func (c *Committer) Pipeline() *cem.Pipeline { return c.pipe }
+
+// Snapshot returns the current committed state. Never nil; before the
+// first commit it is the empty Seq-0 state.
+func (c *Committer) Snapshot() *Committed { return c.cur.Load() }
+
+// Apply journals and applies one batch of records, publishing the new
+// state on success. Batches are applied strictly serially (callers may
+// race; a mutex orders them). On failure nothing is published; a batch
+// that failed because the context was canceled (a shutdown or kill mid
+// update) KEEPS its journal entry — the records were accepted, and
+// Recover finishes the interrupted commit on restart. Any other failure
+// (invalid records) removes the journal entry and reports the error.
+func (c *Committer) Apply(ctx context.Context, records []cem.Record) (*Committed, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	for i, r := range records {
+		if r.RecordKey() == "" {
+			return nil, fmt.Errorf("serve: record %d has an empty key", i)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	path, err := c.journal(records)
+	if err != nil {
+		return nil, err
+	}
+	state, err := c.apply(ctx, records)
+	if err != nil {
+		if path != "" && ctx.Err() == nil {
+			// The batch itself was rejected (not a kill): drop it from
+			// the journal so a restart does not replay a poison batch.
+			os.Remove(path)
+			c.journalSeq--
+		}
+		return nil, err
+	}
+	return state, nil
+}
+
+// apply runs one Update and publishes the result. Caller holds mu.
+func (c *Committer) apply(ctx context.Context, records []cem.Record) (*Committed, error) {
+	prior := c.cur.Load()
+	start := time.Now()
+	if c.metrics != nil {
+		c.metrics.BeginUpdate()
+	}
+	res, err := c.pipe.Update(ctx, prior.Result, records)
+	if c.metrics != nil {
+		c.metrics.EndUpdate()
+	}
+	if err != nil {
+		if c.metrics != nil {
+			c.metrics.UpdateErrors.Inc()
+		}
+		return nil, err
+	}
+	state := newCommitted(prior.Seq+1, res)
+	if c.metrics != nil {
+		m := c.metrics
+		m.CommittedBatches.Inc()
+		m.CommittedRecords.Add(int64(len(records)))
+		switch {
+		case res.WarmStarted:
+			m.UpdatesWarm.Inc()
+		case res.ForcedRerun:
+			m.UpdatesForced.Inc()
+		default:
+			m.UpdatesCold.Inc()
+		}
+		m.MatcherCalls.Add(int64(res.Stats.MatcherCalls))
+		m.UpdateSeconds.Observe(time.Since(start).Seconds())
+		m.BlockingSeconds.Observe(res.BlockingTime.Seconds())
+		m.MatchingSeconds.Observe(res.MatchingTime.Seconds())
+		m.BatchRecords.Observe(float64(len(records)))
+		m.BatchCalls.Observe(float64(res.Stats.MatcherCalls))
+	}
+	c.cur.Store(state)
+	return state, nil
+}
+
+// journal persists a batch before it is applied (tmp + rename + fsync,
+// like the checkpoint trail). Returns "" when journaling is disabled.
+func (c *Committer) journal(records []cem.Record) (string, error) {
+	if c.journalDir == "" {
+		return "", nil
+	}
+	c.journalSeq++
+	path := filepath.Join(c.journalDir, fmt.Sprintf("batch-%06d.tsv", c.journalSeq))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		c.journalSeq--
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	err = cem.WriteRecords(f, fmt.Sprintf("batch-%06d", c.journalSeq), records)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		c.journalSeq--
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	return path, nil
+}
+
+// Recover rebuilds the committed state from the journal: the service's
+// restart path. With tryResume (the pipeline was built with a checkpoint
+// directory), it first attempts Pipeline.Resume over the full journaled
+// stream — a clean shutdown leaves a completed trail, so the matcher is
+// not called at all, and a kill mid-update leaves a partial trail that
+// resumes at the first unfinished round. When the trail cannot serve
+// (killed before the interrupted batch reached its first round boundary,
+// or no trail), it falls back to folding the journaled batches through
+// Pipeline.Update exactly as they were originally applied — equivalent
+// by the incremental differential guarantee. Returns the number of
+// journaled batches restored.
+func (c *Committer) Recover(ctx context.Context, tryResume bool) (int, error) {
+	if c.journalDir == "" {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	paths, err := filepath.Glob(filepath.Join(c.journalDir, "batch-*.tsv"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return 0, nil
+	}
+	batches := make([][]cem.Record, len(paths))
+	var all []cem.Record
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return 0, fmt.Errorf("serve: recover: %w", err)
+		}
+		_, recs, rerr := cem.ReadRecords(f)
+		f.Close()
+		if rerr != nil {
+			return 0, fmt.Errorf("serve: recover %s: %w", p, rerr)
+		}
+		batches[i] = recs
+		all = append(all, recs...)
+	}
+	c.journalSeq = len(paths)
+
+	if tryResume {
+		if res, err := c.pipe.Resume(ctx, all); err == nil {
+			c.cur.Store(newCommitted(len(paths), res))
+			return len(paths), nil
+		} else if ctx.Err() != nil {
+			return 0, err
+		}
+		// The trail does not cover the journaled stream (e.g. the
+		// process died before the last batch's first round boundary, so
+		// the trail's cover predates it): replay instead.
+	}
+	for i, recs := range batches {
+		if _, err := c.apply(ctx, recs); err != nil {
+			return i, fmt.Errorf("serve: recover: replaying batch %d: %w", i+1, err)
+		}
+	}
+	return len(paths), nil
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	cem "repro"
+	"repro/match"
+)
+
+// testRecords returns the standard golden-seed corpus in record form.
+func testRecords(t *testing.T, kind cem.DatasetKind) []cem.Record {
+	t.Helper()
+	records, err := cem.GenerateRecords(kind, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+// testPipeline builds the committer's pipeline: SMP × mln, plus any
+// extra runner options (e.g. a checkpoint dir).
+func testPipeline(t *testing.T, ropts ...cem.RunnerOption) *cem.Pipeline {
+	t.Helper()
+	opts := []cem.PipelineOption{
+		cem.WithScheme(cem.SchemeSMP),
+		cem.WithDatasetName("serve-test"),
+	}
+	if len(ropts) > 0 {
+		opts = append(opts, cem.WithRunnerOptions(ropts...))
+	}
+	pipe, err := cem.NewPipeline(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+// batchCuts splits records into a base load plus trailing batches.
+func batchCuts(records []cem.Record) [][]cem.Record {
+	n := len(records)
+	cuts := []int{n * 7 / 10, n * 8 / 10, n * 9 / 10, n}
+	var out [][]cem.Record
+	lo := 0
+	for _, hi := range cuts {
+		out = append(out, records[lo:hi])
+		lo = hi
+	}
+	return out
+}
+
+// TestCommitterFoldMatchesCold: applying a stream of batches lands on
+// the byte-identical match set of a cold run over the same arrival
+// order, with the trailing batches warm-started.
+func TestCommitterFoldMatchesCold(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	ctx := context.Background()
+
+	cold, err := testPipeline(t).Run(ctx, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCommitter(testPipeline(t), WithMetrics(NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Committed
+	for i, batch := range batchCuts(records) {
+		last, err = c.Apply(ctx, batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i+1, err)
+		}
+		if last.Seq != i+1 {
+			t.Errorf("batch %d committed at seq %d", i+1, last.Seq)
+		}
+		if i > 0 && !last.Result.WarmStarted {
+			t.Errorf("batch %d did not warm-start", i+1)
+		}
+	}
+	if got, want := last.RenderMatches(), renderPipelineMatches(cold); got != want {
+		t.Errorf("streamed matches diverge from cold run:\nstream: %d bytes\ncold:   %d bytes", len(got), len(want))
+	}
+	if snap := c.Snapshot(); snap != last {
+		t.Error("Snapshot does not return the last committed state")
+	}
+	stats := c.Pipeline().Stats()
+	if stats.Updates != 4 || stats.WarmStarted != 3 || stats.ColdStarts != 1 {
+		t.Errorf("pipeline stats = %+v, want 4 updates = 1 cold + 3 warm", stats)
+	}
+}
+
+// renderPipelineMatches renders a PipelineResult's matches in the
+// canonical fixture form (the snapshot's RenderMatches counterpart).
+func renderPipelineMatches(res *cem.PipelineResult) string {
+	var b strings.Builder
+	pairs := res.Matches.Sorted()
+	fmt.Fprintf(&b, "# %d matches\n", len(pairs))
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%d %d\n", p.A, p.B)
+	}
+	return b.String()
+}
+
+// TestCommitterJournalRecoverFold: a fresh committer on the same
+// journal replays the batches into the identical state (no checkpoint
+// trail involved) and continues the stream at the right seq.
+func TestCommitterJournalRecoverFold(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	ctx := context.Background()
+	dir := t.TempDir()
+	batches := batchCuts(records)
+
+	c1, err := NewCommitter(testPipeline(t), WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batches[:3] {
+		if _, err := c1.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := c1.Snapshot()
+
+	c2, err := NewCommitter(testPipeline(t), WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c2.Recover(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("recovered %d batches, want 3", n)
+	}
+	got := c2.Snapshot()
+	if got.Seq != want.Seq || got.RenderMatches() != want.RenderMatches() {
+		t.Errorf("recovered state diverges: seq %d vs %d, %d vs %d matches",
+			got.Seq, want.Seq, got.Matches(), want.Matches())
+	}
+
+	// The stream continues past recovery: the 4th batch lands at seq 4
+	// and journals as batch-000004.
+	last, err := c2.Apply(ctx, batches[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Seq != 4 {
+		t.Errorf("post-recovery batch committed at seq %d, want 4", last.Seq)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "batch-000004.tsv")); len(m) != 1 {
+		t.Error("post-recovery batch did not journal as batch-000004.tsv")
+	}
+	cold, err := testPipeline(t).Run(ctx, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.RenderMatches() != renderPipelineMatches(cold) {
+		t.Error("recovered + continued stream diverges from the cold run")
+	}
+}
+
+// TestCommitterRecoverResume: with a checkpoint trail from a clean
+// shutdown, recovery resumes the completed trail — identical state and
+// no neighborhood is re-evaluated in this process. (The resumed
+// result's RunStats stay cumulative — they credit the original run's
+// matcher calls, as checkpoint_test's monotonicity contract requires —
+// so "no new work" is asserted via progress events, which only fire
+// when a round actually executes.)
+func TestCommitterRecoverResume(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	ctx := context.Background()
+	state := t.TempDir()
+	journal := filepath.Join(state, "journal")
+	ckpt := filepath.Join(state, "checkpoint")
+
+	c1, err := NewCommitter(testPipeline(t, cem.WithCheckpointDir(ckpt)), WithJournal(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range batchCuts(records) {
+		if _, err := c1.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := c1.Snapshot()
+
+	var evals atomic.Int64
+	pipe2 := testPipeline(t, cem.WithCheckpointDir(ckpt),
+		cem.WithProgress(func(match.ProgressEvent) { evals.Add(1) }))
+	c2, err := NewCommitter(pipe2, WithJournal(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Recover(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Snapshot()
+	if got.Seq != want.Seq || got.RenderMatches() != want.RenderMatches() {
+		t.Errorf("resumed state diverges: seq %d vs %d", got.Seq, want.Seq)
+	}
+	if n := evals.Load(); n != 0 {
+		t.Errorf("resume of a completed trail evaluated %d neighborhoods, want 0", n)
+	}
+	if stats := pipe2.Stats(); stats.Runs != 1 || stats.Updates != 0 {
+		t.Errorf("resume took the replay path: stats %+v, want 1 run / 0 updates", stats)
+	}
+}
+
+// TestCommitterRejectsBadBatch: an invalid batch is refused without
+// burning a journal slot or touching the committed state.
+func TestCommitterRejectsBadBatch(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	c, err := NewCommitter(testPipeline(t), WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(ctx, records[:50]); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Snapshot()
+
+	if _, err := c.Apply(ctx, []cem.Record{cem.BasicRecord{Key: "", Group: -1, Gold: -1}}); err == nil {
+		t.Fatal("empty-key batch accepted")
+	}
+	if _, err := c.Apply(ctx, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if c.Snapshot() != before {
+		t.Error("failed batch replaced the committed state")
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "batch-*.tsv")); len(m) != 1 {
+		t.Errorf("journal holds %d batches after rejections, want 1", len(m))
+	}
+
+	// The next valid batch takes seq 2 and the journal stays contiguous.
+	last, err := c.Apply(ctx, records[50:80])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Seq != 2 {
+		t.Errorf("next batch at seq %d, want 2", last.Seq)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "batch-000002.tsv")); len(m) != 1 {
+		t.Error("next batch did not journal as batch-000002.tsv")
+	}
+}
+
+// TestCommittedViews: structural invariants of the derived read
+// model — every entity's cluster contains itself and all its direct
+// match partners, views agree across members, and the canonical dump
+// matches the sorted pair list.
+func TestCommittedViews(t *testing.T) {
+	records := testRecords(t, cem.DBLP)
+	ctx := context.Background()
+	c, err := NewCommitter(testPipeline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Apply(ctx, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Matches() == 0 {
+		t.Fatal("corpus produced no matches; the view test is vacuous")
+	}
+	if snap.Entities() != len(records) {
+		t.Fatalf("snapshot has %d entities for %d records", snap.Entities(), len(records))
+	}
+
+	checked := 0
+	for _, rec := range records {
+		key := rec.RecordKey()
+		v, ok := snap.Lookup(key)
+		if !ok {
+			t.Fatalf("committed record key %q not found", key)
+		}
+		for _, e := range v.Entities {
+			inCluster := map[int32]bool{}
+			for _, m := range e.Cluster {
+				inCluster[m.ID] = true
+				if snap.names[m.ID] != m.Key {
+					t.Fatalf("cluster member %d reported key %q, dataset says %q", m.ID, m.Key, snap.names[m.ID])
+				}
+			}
+			if !inCluster[e.ID] {
+				t.Fatalf("entity %d's cluster omits itself", e.ID)
+			}
+			for _, m := range e.Matches {
+				if !inCluster[m.ID] {
+					t.Fatalf("entity %d's match partner %d missing from its cluster", e.ID, m.ID)
+				}
+			}
+		}
+		cv, ok := snap.Cluster(key)
+		if !ok || len(cv.Clusters) == 0 {
+			t.Fatalf("Cluster(%q) empty", key)
+		}
+		checked++
+		if checked >= 200 {
+			break
+		}
+	}
+
+	if _, ok := snap.Lookup("no-such-record-key"); ok {
+		t.Error("unknown key resolved")
+	}
+	dump := snap.RenderMatches()
+	lines := strings.Count(dump, "\n")
+	if lines != snap.Matches()+1 {
+		t.Errorf("RenderMatches has %d lines for %d matches", lines, snap.Matches())
+	}
+}
+
+// TestEmptySnapshot: the Seq-0 state answers reads without panicking.
+func TestEmptySnapshot(t *testing.T) {
+	c, err := NewCommitter(testPipeline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Seq != 0 || snap.Records() != 0 || snap.Matches() != 0 || snap.Entities() != 0 {
+		t.Errorf("empty snapshot not empty: %+v", snap)
+	}
+	if _, ok := snap.Lookup("x"); ok {
+		t.Error("empty snapshot resolved a key")
+	}
+	if got := snap.RenderMatches(); got != "# 0 matches\n" {
+		t.Errorf("empty dump = %q", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bib"
@@ -20,8 +21,10 @@ import (
 // size/overlap bounds, executes the configured scheme with any
 // registered matcher through the Runner, and scores the result.
 //
-// Build with NewPipeline; a Pipeline is immutable after construction and
-// safe for concurrent Run calls.
+// Build with NewPipeline; a Pipeline's configuration is immutable after
+// construction and it is safe for concurrent Run/Update calls. The only
+// mutable state is the cumulative Stats counters, which accumulate
+// atomically across every completed run.
 type Pipeline struct {
 	name       string
 	blocking   CanopyConfig
@@ -32,6 +35,57 @@ type Pipeline struct {
 	scheme     Scheme
 	runnerOpts []RunnerOption
 	expOpts    []Option
+
+	stats pipelineCounters
+}
+
+// PipelineStats is a point-in-time copy of a Pipeline's cumulative
+// counters: every completed Run/Resume/Update on the pipeline adds to
+// them, so a long-lived ingestion loop (or a serving process) can report
+// warm-vs-cold ratios and total matcher work without threading per-call
+// results around. Read with Pipeline.Stats; failed calls contribute
+// nothing.
+type PipelineStats struct {
+	// Runs counts completed Run/Resume calls (cold full passes).
+	Runs int64
+	// Updates counts completed Update calls, split below by how the
+	// matching stage executed: ColdStarts (nil prior — the stream's
+	// first batch), WarmStarted (the incremental fast path), and
+	// ForcedReruns (a non-additive delta or a foreign prior forced a
+	// full cold re-run). The three always sum to Updates.
+	Updates      int64
+	ColdStarts   int64
+	WarmStarted  int64
+	ForcedReruns int64
+	// MatcherCalls sums Matcher.Match invocations across every completed
+	// run — the paper's primary cost metric, accumulated stream-wide.
+	MatcherCalls int64
+	// RecordsIngested sums the record counts handed to Run (all records)
+	// and Update (the new batch only): the total stream length so far
+	// when one pipeline owns the whole stream.
+	RecordsIngested int64
+}
+
+// pipelineCounters is the internal atomic form of PipelineStats.
+type pipelineCounters struct {
+	runs, updates, coldStarts, warmStarted, forcedReruns atomic.Int64
+	matcherCalls, recordsIngested                        atomic.Int64
+}
+
+// Stats returns a snapshot of the pipeline's cumulative counters. The
+// fields are read individually (not under one lock), so a snapshot taken
+// concurrently with a committing run may straddle that run's increments;
+// each counter is itself always consistent.
+func (p *Pipeline) Stats() PipelineStats {
+	return PipelineStats{
+		Runs:            p.stats.runs.Load(),
+		Updates:         p.stats.updates.Load(),
+		ColdStarts:      p.stats.coldStarts.Load(),
+		WarmStarted:     p.stats.warmStarted.Load(),
+		ForcedReruns:    p.stats.forcedReruns.Load(),
+		MatcherCalls:    p.stats.matcherCalls.Load(),
+		RecordsIngested: p.stats.recordsIngested.Load(),
+	}
 }
 
 // PipelineOption customizes a Pipeline.
@@ -249,6 +303,9 @@ func (p *Pipeline) run(ctx context.Context, records []Record, resume bool) (*Pip
 		out.Report = &report
 		out.BCubed = &bcubed
 	}
+	p.stats.runs.Add(1)
+	p.stats.matcherCalls.Add(int64(res.Stats.MatcherCalls))
+	p.stats.recordsIngested.Add(int64(len(records)))
 	return out, nil
 }
 
@@ -373,6 +430,17 @@ func (p *Pipeline) Update(ctx context.Context, prior *PipelineResult, newRecords
 		out.Report = &report
 		out.BCubed = &bcubed
 	}
+	p.stats.updates.Add(1)
+	switch {
+	case out.WarmStarted:
+		p.stats.warmStarted.Add(1)
+	case out.ForcedRerun:
+		p.stats.forcedReruns.Add(1)
+	default:
+		p.stats.coldStarts.Add(1)
+	}
+	p.stats.matcherCalls.Add(int64(res.Stats.MatcherCalls))
+	p.stats.recordsIngested.Add(int64(len(newRecords)))
 	return out, nil
 }
 

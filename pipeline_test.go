@@ -333,3 +333,74 @@ func TestRunGridSurfacesConfigErrors(t *testing.T) {
 		t.Errorf("valid grid config rejected: %v", err)
 	}
 }
+
+// TestPipelineStats: the cumulative counters accumulate across
+// Run/Update calls on one Pipeline — one cold start, then warm updates —
+// and classify every Update as exactly one of cold/warm/forced.
+func TestPipelineStats(t *testing.T) {
+	records, err := cem.GenerateRecords(cem.DBLP, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := cem.NewPipeline(cem.WithScheme(cem.SchemeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.Stats(); got != (cem.PipelineStats{}) {
+		t.Fatalf("fresh pipeline has nonzero stats: %+v", got)
+	}
+
+	n := len(records)
+	cuts := []int{n * 7 / 10, n * 8 / 10, n * 9 / 10, n}
+	var state *cem.PipelineResult
+	lo, warm := 0, 0
+	var calls, ingested int64
+	for _, hi := range cuts {
+		state, err = pipe.Update(context.Background(), state, records[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state.WarmStarted {
+			warm++
+		}
+		calls += int64(state.Stats.MatcherCalls)
+		ingested += int64(hi - lo)
+		lo = hi
+	}
+
+	got := pipe.Stats()
+	if got.Updates != int64(len(cuts)) {
+		t.Errorf("Updates = %d, want %d", got.Updates, len(cuts))
+	}
+	if got.ColdStarts != 1 {
+		t.Errorf("ColdStarts = %d, want 1 (the first batch)", got.ColdStarts)
+	}
+	if got.WarmStarted != int64(warm) || got.WarmStarted == 0 {
+		t.Errorf("WarmStarted = %d, want %d (> 0)", got.WarmStarted, warm)
+	}
+	if got.ColdStarts+got.WarmStarted+got.ForcedReruns != got.Updates {
+		t.Errorf("cold %d + warm %d + forced %d != updates %d",
+			got.ColdStarts, got.WarmStarted, got.ForcedReruns, got.Updates)
+	}
+	if got.MatcherCalls != calls {
+		t.Errorf("MatcherCalls = %d, want %d", got.MatcherCalls, calls)
+	}
+	if got.RecordsIngested != ingested || ingested != int64(n) {
+		t.Errorf("RecordsIngested = %d, want %d", got.RecordsIngested, n)
+	}
+	if got.Runs != 0 {
+		t.Errorf("Runs = %d, want 0 (no Run calls)", got.Runs)
+	}
+
+	// A cold Run on the same pipeline lands in Runs, not Updates.
+	if _, err := pipe.Run(context.Background(), records); err != nil {
+		t.Fatal(err)
+	}
+	got = pipe.Stats()
+	if got.Runs != 1 {
+		t.Errorf("after Run: Runs = %d, want 1", got.Runs)
+	}
+	if got.RecordsIngested != ingested+int64(n) {
+		t.Errorf("after Run: RecordsIngested = %d, want %d", got.RecordsIngested, ingested+int64(n))
+	}
+}
