@@ -2,7 +2,7 @@
 
 GO       ?= go
 GOFLAGS  ?=
-PR       ?= 5
+PR       ?= 7
 BENCHOUT ?= BENCH_$(PR).json
 
 # BENCH_LABEL is the label bench-json stores its run under, and the run
@@ -13,13 +13,14 @@ BENCHOUT ?= BENCH_$(PR).json
 # iteration count shifts pooled benchmarks' per-op numbers, which is how
 # the PR-3 baseline (20x) became unreproducible under the old 3x gate.
 BENCH_LABEL    ?= current
-BASELINE_LABEL ?= pr4-baseline
+BASELINE_LABEL ?= pr6-baseline
 
 # Benchmarks recorded in the committed trajectory: the scheme executors
 # (the matching hot path this engine optimizes), the blocking stage, and
-# the matcher-level micro-benchmarks (grounding + warm Match).
+# the matcher-level micro-benchmarks (grounding, warm Match, and the
+# verdict-memo hit/miss/maximal paths).
 SCHEME_BENCH   = ^Benchmark(NoMP|SMP|MMP|UB|Full|Blocking|Pipeline|Setup|Grid)
-MATCHER_BENCH  = ^Benchmark(New|MatchWarm)$$
+MATCHER_BENCH  = ^Benchmark(New|MatchWarm|MemoHit|MemoMiss|MemoMaximal)$$
 BENCHTIME     ?= 5x
 # The matcher micro-benchmarks are microsecond-scale; at single-digit
 # iteration counts their numbers are dominated by pool warm-up and

@@ -115,6 +115,12 @@ type PRF = eval.PRF
 // MLNWeights are the built-in Markov-Logic matcher's rule weights.
 type MLNWeights = mln.Weights
 
+// CacheReport is one run's verdict-memo accounting (hits, misses,
+// invalidations), reported in RunStats.Cache by matchers that memoize —
+// the built-in MLN matcher does. Aliased so external modules can read
+// the report without importing internal packages.
+type CacheReport = match.CacheReport
+
 // Options configures experiment construction. Prefer the functional
 // Option helpers with New; the struct remains for the deprecated Setup
 // path.

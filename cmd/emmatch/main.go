@@ -298,6 +298,10 @@ func runIngest(paths []string, cfg pipelineConfig, stdout io.Writer) error {
 		s := committer.Pipeline().Stats()
 		fmt.Fprintf(stdout, "cumulative: %d updates (%d cold, %d warm, %d forced), %d matcher calls over %d records\n",
 			s.Updates, s.ColdStarts, s.WarmStarted, s.ForcedReruns, s.MatcherCalls, s.RecordsIngested)
+		if lookups := s.CacheHits + s.CacheMisses + s.CacheInvalidations; lookups > 0 {
+			fmt.Fprintf(stdout, "verdict memo: %d hits / %d lookups (%.0f%% hit rate, %d invalidations)\n",
+				s.CacheHits, lookups, 100*float64(s.CacheHits)/float64(lookups), s.CacheInvalidations)
+		}
 	}
 	return nil
 }

@@ -61,6 +61,32 @@ func prepareScopes(cfg *Config) bool {
 	return ok
 }
 
+// CacheReporter is an optional matcher extension exposing cumulative
+// verdict-memo counters (see CacheReport). The schedulers snapshot the
+// counters at run start and report the end-of-run delta in
+// RunStats.Cache; a memo must never change the matcher's output — hits
+// have to return exactly the verdict recomputation would produce.
+type CacheReporter interface {
+	CacheStats() CacheReport
+}
+
+// cacheSnapshot reads a matcher's cumulative cache counters, reporting
+// whether the matcher keeps any.
+func cacheSnapshot(m Matcher) (CacheReport, bool) {
+	if cr, ok := m.(CacheReporter); ok {
+		return cr.CacheStats(), true
+	}
+	return CacheReport{}, false
+}
+
+// cacheDelta finalizes a run's cache report against its start snapshot.
+func cacheDelta(m Matcher, start CacheReport) CacheReport {
+	if cr, ok := m.(CacheReporter); ok {
+		return cr.CacheStats().Sub(start)
+	}
+	return CacheReport{}
+}
+
 // Probabilistic is the Type-II abstraction (Definition 5): a matcher
 // backed by a probability distribution over match sets. Match must return
 // (one of) the most probable set(s), preferring the largest on ties, with

@@ -30,6 +30,7 @@ func MMP(ctx context.Context, cfg Config) (*Result, error) {
 
 	start := time.Now()
 	canSkip := prepareScopes(&cfg)
+	cacheStart, _ := cacheSnapshot(cfg.Matcher)
 	res := &Result{Scheme: "MMP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
@@ -105,6 +106,7 @@ func MMP(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	res.Messages = copyMessages(store.Messages())
+	res.Stats.Cache = cacheDelta(cfg.Matcher, cacheStart)
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

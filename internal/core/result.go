@@ -46,6 +46,19 @@ type RunStats struct {
 	Elapsed     time.Duration // wall-clock time of the run
 	MatcherTime time.Duration // time spent inside Matcher.Match
 
+	// Cache is the run's verdict-memo report for matchers implementing
+	// CacheReporter (zero otherwise): how many Match/MaximalMessages
+	// consultations were served from the matcher's cross-neighborhood
+	// memo, recomputed fresh, or recomputed because the neighborhood's
+	// relevant evidence changed. Memoization never changes the run's
+	// output or the counters above (hits return the verdict recomputation
+	// would produce, and cached probe counts are re-reported) — Cache is
+	// pure savings accounting. The report is a start/end counter delta on
+	// the matcher, so runs sharing one matcher concurrently may attribute
+	// each other's traffic; checkpointed trails do not persist it (a
+	// resumed run reports only its own process's cache activity).
+	Cache CacheReport
+
 	// ActiveSizes records, for every neighborhood evaluation, the number
 	// of *active* matching decisions: in-scope candidate pairs not yet in
 	// the evidence set. This is the quantity §6.2 credits for SMP/MMP
@@ -65,9 +78,50 @@ func (s *RunStats) TotalActive() int {
 }
 
 func (s RunStats) String() string {
-	return fmt.Sprintf("n=%d evals=%d calls=%d skips=%d maxRevisit=%d msgs=%d maximal=%d promoted=%d elapsed=%v",
+	base := fmt.Sprintf("n=%d evals=%d calls=%d skips=%d maxRevisit=%d msgs=%d maximal=%d promoted=%d elapsed=%v",
 		s.Neighborhoods, s.Evaluations, s.MatcherCalls, s.Skips, s.MaxRevisits,
 		s.MessagesSent, s.MaximalMessages, s.PromotedSets, s.Elapsed)
+	if s.Cache.Lookups() > 0 {
+		base += " " + s.Cache.String()
+	}
+	return base
+}
+
+// CacheReport accounts a matcher's cross-neighborhood verdict memo over
+// one run: Hits were served from cache, Misses computed fresh with no
+// (matching) entry, Invalidations computed fresh because the cached
+// entry's relevant evidence had changed. All zero for matchers without a
+// memo (see CacheReporter).
+type CacheReport struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+}
+
+// Lookups returns the total number of memo consultations.
+func (c CacheReport) Lookups() int64 { return c.Hits + c.Misses + c.Invalidations }
+
+// HitRate returns Hits / Lookups (0 when no lookups happened).
+func (c CacheReport) HitRate() float64 {
+	if n := c.Lookups(); n > 0 {
+		return float64(c.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Sub returns the counter delta c − o (the per-run report between two
+// cumulative snapshots of one matcher).
+func (c CacheReport) Sub(o CacheReport) CacheReport {
+	return CacheReport{
+		Hits:          c.Hits - o.Hits,
+		Misses:        c.Misses - o.Misses,
+		Invalidations: c.Invalidations - o.Invalidations,
+	}
+}
+
+func (c CacheReport) String() string {
+	return fmt.Sprintf("cacheHits=%d cacheMisses=%d cacheInvals=%d hitRate=%.2f",
+		c.Hits, c.Misses, c.Invalidations, c.HitRate())
 }
 
 // ProgressEvent reports one neighborhood evaluation to a Config.Progress

@@ -26,6 +26,12 @@ type RoundDriver struct {
 
 	start time.Time
 	prior time.Duration // elapsed time credited by a resumed checkpoint
+
+	// cacheStart snapshots the matcher's cumulative memo counters at
+	// driver construction; finish() reports the delta. Checkpoint trails
+	// do not persist cache counters, so a resumed run reports only the
+	// resuming process's cache activity.
+	cacheStart CacheReport
 }
 
 // newRoundDriver initializes the reduce state, loading a checkpoint
@@ -34,6 +40,7 @@ type RoundDriver struct {
 // a later resume can never mix two runs.
 func newRoundDriver(plan *RoundPlan, ck CheckpointConfig) (*RoundDriver, error) {
 	d := &RoundDriver{plan: plan, start: time.Now()}
+	d.cacheStart, _ = cacheSnapshot(plan.Config.Matcher)
 	d.res = &Result{Scheme: plan.Scheme, Matches: NewPairSet()}
 	d.res.Stats.Neighborhoods = plan.Config.Cover.Len()
 	d.visits = make([]int, plan.Config.Cover.Len())
@@ -179,6 +186,7 @@ func (d *RoundDriver) finish() *Result {
 	if d.store != nil {
 		d.res.Messages = copyMessages(d.store.Messages())
 	}
+	d.res.Stats.Cache = cacheDelta(d.plan.Config.Matcher, d.cacheStart)
 	d.res.Stats.Elapsed = d.prior + time.Since(d.start)
 	return d.res
 }

@@ -73,6 +73,7 @@ func (cfg *Config) emit(scheme string, id int32, round int, res *Result) {
 func NoMP(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
 	prepareScopes(&cfg) // NO-MP never revisits, so no skips apply
+	cacheStart, _ := cacheSnapshot(cfg.Matcher)
 	res := &Result{Scheme: "NO-MP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
@@ -93,6 +94,7 @@ func NoMP(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.emit("NO-MP", j.id, round, res)
 	}
 	res.Stats.MaxRevisits = 1
+	res.Stats.Cache = cacheDelta(cfg.Matcher, cacheStart)
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -139,6 +141,7 @@ func SMP(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 	canSkip := prepareScopes(&cfg)
+	cacheStart, _ := cacheSnapshot(cfg.Matcher)
 	res := &Result{Scheme: "SMP", Matches: NewPairSet()}
 	res.Stats.Neighborhoods = cfg.Cover.Len()
 
@@ -193,6 +196,7 @@ func SMP(ctx context.Context, cfg Config) (*Result, error) {
 			res.Stats.MaxRevisits = v
 		}
 	}
+	res.Stats.Cache = cacheDelta(cfg.Matcher, cacheStart)
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -70,3 +70,72 @@ func largestNeighborhood(c *core.Cover) int {
 	}
 	return best
 }
+
+// benchPrepared grounds the HEPTH corpus, prepares the cover, and
+// returns the matcher with its largest neighborhood — the shared setup
+// of the memoization benchmarks.
+func benchPrepared(b *testing.B) (*Matcher, []core.EntityID) {
+	b.Helper()
+	env, cands := benchGround(b)
+	m, err := New(env.d, cands, PaperWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.PrepareCover(env.cover)
+	return m, env.cover.Sets[largestNeighborhood(env.cover)]
+}
+
+// BenchmarkMemoHit measures the steady-state memo hit: fingerprint the
+// read set, byte-compare, materialize the cached verdict. This is what a
+// re-activated neighborhood with unchanged relevant evidence costs in
+// place of a full MAP solve (BenchmarkMemoMiss).
+func BenchmarkMemoHit(b *testing.B) {
+	m, entities := benchPrepared(b)
+	pos := core.NewPairSet()
+	m.Match(entities, pos, nil) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(entities, pos, nil)
+	}
+	b.StopTimer()
+	if st := m.CacheStats(); st.Hits < int64(b.N) {
+		b.Fatalf("hit benchmark missed: %+v over %d iterations", st, b.N)
+	}
+}
+
+// BenchmarkMemoMiss measures the worst case for the memo: the relevant
+// evidence flips every iteration, so every lookup invalidates, resolves
+// from scratch and re-stores. The delta against BenchmarkMatchWarm at
+// the pre-memo baseline is the layer's overhead on never-hitting
+// workloads.
+func BenchmarkMemoMiss(b *testing.B) {
+	m, entities := benchPrepared(b)
+	flip := m.Candidates(entities)[0]
+	empty, one := core.NewPairSet(), core.NewPairSet(flip)
+	evidence := []core.PairSet{empty, one}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(entities, evidence[i%2], nil)
+	}
+	b.StopTimer()
+	if st := m.CacheStats(); st.Hits > 1 {
+		b.Fatalf("miss benchmark hit the cache: %+v", st)
+	}
+}
+
+// BenchmarkMemoMaximal measures a fully memoized MMP evaluation:
+// Match + MaximalMessages both served from cache (the hit path that
+// skips every probe solve of Algorithm 2).
+func BenchmarkMemoMaximal(b *testing.B) {
+	m, entities := benchPrepared(b)
+	pos := core.NewPairSet()
+	base := m.Match(entities, pos, nil)
+	m.MaximalMessages(entities, pos, nil, base) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MaximalMessages(entities, pos, nil, base)
+	}
+}

@@ -96,6 +96,13 @@ type Matcher struct {
 	// dense evidence views. See scope.go.
 	scopes atomic.Pointer[coverScopes]
 	wsPool sync.Pool
+
+	// Verdict-memo state (see memo.go): memoOff disables the layer for
+	// differential tests; the counters back core.CacheReporter.
+	memoOff     bool
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheInvals atomic.Int64
 }
 
 // Candidate is one match variable: a reference pair with its discretized
@@ -220,6 +227,7 @@ func (m *Matcher) SetWeights(w Weights) error {
 	}
 	m.w = w
 	m.applyWeights()
+	m.invalidateMemos() // skeletons are weight-independent; verdicts are not
 	return nil
 }
 
@@ -281,23 +289,37 @@ func (m *Matcher) scopedIDs(entities []core.EntityID) []int32 {
 // pos pairs are conditioned true (in or out of scope — an out-of-scope
 // matched coauthor pair contributes its groundings as a unary bonus),
 // neg pairs are conditioned false.
+//
+// On prepared cover neighborhoods the call first consults the scope's
+// verdict memo (memo.go): when the read-set fingerprint matches the
+// cached entry, the cached match set is returned without building or
+// solving the submodel — provably the set recomputation would produce.
 func (m *Matcher) Match(entities []core.EntityID, pos, neg core.PairSet) core.PairSet {
 	ws := m.getWS()
 	defer m.putWS(ws)
-	lm := m.buildLocal(m.scopeOf(entities, ws), pos, neg, ws)
-	out := lm.out
-	if len(lm.free) == 0 {
-		return out
-	}
-	if cap(ws.x) < len(lm.free) {
-		ws.x = make([]bool, len(lm.free))
-	}
-	x := ws.x[:len(lm.free)]
-	solveMAPInto(lm.eff, lm.edges, x)
-	for fi, id := range lm.free {
-		if x[fi] {
-			out.Add(m.pairs[id])
+	sc := m.scopeOf(entities, ws)
+	memoKey := m.memoKey(sc, pos, neg, ws)
+	if memoKey != nil {
+		if out, ok := m.memoMatch(sc, memoKey); ok {
+			return out
 		}
+	}
+	lm := m.buildLocal(sc, pos, neg, ws)
+	out := lm.out
+	if len(lm.free) > 0 {
+		if cap(ws.x) < len(lm.free) {
+			ws.x = make([]bool, len(lm.free))
+		}
+		x := ws.x[:len(lm.free)]
+		solveMAPInto(lm.eff, lm.edges, x)
+		for fi, id := range lm.free {
+			if x[fi] {
+				out.Add(m.pairs[id])
+			}
+		}
+	}
+	if memoKey != nil {
+		m.memoStoreMatch(sc, memoKey, out)
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package mln
 
 import (
+	"bytes"
+
 	"repro/internal/core"
 	"repro/internal/unionfind"
 )
@@ -51,10 +53,48 @@ func grow[T any](s []T, n int) []T {
 // the mutual-entailment groups from the probe solutions. Probe solves
 // draw their flow networks from the shared solver pool and all component
 // bookkeeping from the pooled workspace.
+// Prepared cover neighborhoods consult the scope's verdict memo first:
+// when the read-set fingerprint matches the cached entry AND base equals
+// the cached match verdict (the Step-5 protocol — Match feeds its output
+// straight back in), the cached message list is returned as a deep copy,
+// skipping every probe solve. calls reports the cached probe count so
+// run statistics stay identical with memoization on or off.
 func (m *Matcher) MaximalMessages(entities []core.EntityID, mPlus, neg, base core.PairSet) (msgs [][]core.Pair, calls int) {
 	ws := m.getWS()
 	defer m.putWS(ws)
-	lm := m.buildLocal(m.scopeOf(entities, ws), mPlus, neg, ws)
+	sc := m.scopeOf(entities, ws)
+	if key := m.memoKey(sc, mPlus, neg, ws); key != nil {
+		e := sc.memo.Load()
+		if e == nil {
+			m.cacheMisses.Add(1)
+		} else {
+			store := false
+			e.mu.Lock()
+			switch {
+			case !e.valid:
+				m.cacheMisses.Add(1)
+			case !bytes.Equal(e.states, key):
+				m.cacheInvals.Add(1)
+			case e.msgsValid && baseMatches(base, e.match):
+				m.cacheHits.Add(1)
+				msgs, calls = copyMsgs(e.msgs), e.msgCalls
+				e.mu.Unlock()
+				return msgs, calls
+			default:
+				m.cacheMisses.Add(1)
+				// Cache the computed messages only for Step-5 callers
+				// (base equals the cached match verdict): any other base
+				// changes the probe set, so the verdict is not the
+				// memoizable one.
+				store = baseMatches(base, e.match)
+			}
+			e.mu.Unlock()
+			if store {
+				defer func() { m.memoStoreMsgs(e, key, msgs, calls) }()
+			}
+		}
+	}
+	lm := m.buildLocal(sc, mPlus, neg, ws)
 	n := len(lm.free)
 	if n == 0 {
 		return nil, 0

@@ -1,0 +1,284 @@
+package mln
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/canopy"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// memoEnv holds two matchers over the same grounding: memo with the
+// verdict memo on (the default), ref with it off — the naive reference
+// every differential check below compares against.
+type memoEnv struct {
+	cover *core.Cover
+	memo  *Matcher
+	ref   *Matcher
+}
+
+func memoGround(t testing.TB, seed int64) memoEnv {
+	t.Helper()
+	d := datagen.MustGenerate(datagen.HEPTHLike(0.08, seed))
+	cover := canopy.BuildCover(d, canopy.DefaultConfig())
+	sp := canopy.CandidatePairs(d, cover)
+	cands := make([]Candidate, len(sp))
+	for i, s := range sp {
+		cands[i] = Candidate{Pair: s.Pair, Level: s.Level}
+	}
+	memo, err := New(d, cands, PaperWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(d, cands, PaperWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetMemoization(false)
+	memo.PrepareCover(cover)
+	ref.PrepareCover(cover)
+	return memoEnv{cover, memo, ref}
+}
+
+// checkNeighborhood compares the memoized and unmemoized verdicts of one
+// neighborhood under one evidence state: Match output, MaximalMessages
+// output and probe count, and the global LogScore of the match set.
+func checkNeighborhood(t *testing.T, env memoEnv, entities []core.EntityID, pos, neg core.PairSet) {
+	t.Helper()
+	gotM := env.memo.Match(entities, pos, neg)
+	wantM := env.ref.Match(entities, pos, neg)
+	if !gotM.Equal(wantM) {
+		t.Fatalf("memoized Match diverged: %d pairs vs %d", gotM.Len(), wantM.Len())
+	}
+	gotMsgs, gotCalls := env.memo.MaximalMessages(entities, pos, neg, gotM)
+	wantMsgs, wantCalls := env.ref.MaximalMessages(entities, pos, neg, wantM)
+	if gotCalls != wantCalls {
+		t.Fatalf("memoized MaximalMessages calls = %d, want %d", gotCalls, wantCalls)
+	}
+	if len(gotMsgs) != len(wantMsgs) {
+		t.Fatalf("memoized MaximalMessages count = %d, want %d", len(gotMsgs), len(wantMsgs))
+	}
+	for i := range gotMsgs {
+		if !slices.Equal(gotMsgs[i], wantMsgs[i]) {
+			t.Fatalf("memoized maximal message %d diverged", i)
+		}
+	}
+	// PairSet iteration order randomizes the summation order, so LogScore
+	// carries last-ulp noise between matcher instances (same tolerance as
+	// FuzzDenseLogScore) — memoization itself never touches LogScore.
+	if got, want := env.memo.LogScore(gotM), env.ref.LogScore(wantM); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("memoized LogScore = %v, want %v", got, want)
+	}
+}
+
+// TestMemoDifferentialGrowth grows evidence at random and checks every
+// neighborhood's memoized verdicts stay byte-identical to the unmemoized
+// reference at every step — including repeat visits under unchanged
+// evidence (hits), visits after in-scope evidence grew (invalidations),
+// and first visits (misses). All three counter classes must actually
+// fire, or the test is not exercising the memo.
+func TestMemoDifferentialGrowth(t *testing.T) {
+	env := memoGround(t, 21)
+	rng := rand.New(rand.NewSource(21))
+	pos, neg := core.NewPairSet(), core.NewPairSet()
+	for _, p := range env.memo.Pairs() {
+		if rng.Float64() < 0.02 {
+			neg.Add(p)
+		}
+	}
+	for step := 0; step < 4; step++ {
+		for id := range env.cover.Sets {
+			// Two consecutive evaluations per neighborhood: the second runs
+			// against unchanged evidence, so it must be served from cache
+			// without changing the answer.
+			checkNeighborhood(t, env, env.cover.Sets[id], pos, neg)
+			checkNeighborhood(t, env, env.cover.Sets[id], pos, neg)
+		}
+		// Grow the evidence the way SMP does: adopt some of the model's
+		// own matches, plus a few arbitrary candidates.
+		full := env.ref.Match(env.cover.Sets[0], pos, neg)
+		for k := range full {
+			if rng.Float64() < 0.5 {
+				pos.AddKey(k)
+			}
+		}
+		for _, p := range env.memo.Pairs() {
+			if rng.Float64() < 0.01 && !neg.Has(p) {
+				pos.Add(p)
+			}
+		}
+	}
+	st := env.memo.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Invalidations == 0 {
+		t.Fatalf("differential run left a counter class untouched: %+v", st)
+	}
+	if ref := env.ref.CacheStats(); ref.Lookups() != 0 {
+		t.Fatalf("reference matcher consulted the memo: %+v", ref)
+	}
+}
+
+// TestMemoScopedToPreparedCover pins where memoization applies: entity
+// slices outside the prepared cover take the ephemeral path and must
+// never touch the counters, and a nil-prepared matcher never memoizes.
+func TestMemoScopedToPreparedCover(t *testing.T) {
+	env := memoGround(t, 5)
+	sub := slices.Clone(env.cover.Sets[0])
+	sub = sub[:len(sub)-1] // not a cover set → ephemeral scope
+	before := env.memo.CacheStats()
+	got := env.memo.Match(sub, nil, nil)
+	want := env.ref.Match(sub, nil, nil)
+	if !got.Equal(want) {
+		t.Fatalf("ephemeral Match diverged")
+	}
+	if after := env.memo.CacheStats(); after != before {
+		t.Fatalf("ephemeral evaluation touched the memo: %+v -> %+v", before, after)
+	}
+}
+
+// TestSetWeightsInvalidatesMemo: re-weighting changes verdicts but not
+// skeletons, so it must drop every cached verdict — and the next
+// evaluation must agree with an unmemoized matcher under the new weights.
+func TestSetWeightsInvalidatesMemo(t *testing.T) {
+	env := memoGround(t, 9)
+	entities := env.cover.Sets[0]
+	env.memo.Match(entities, nil, nil)
+	env.memo.Match(entities, nil, nil) // populate + hit
+	if st := env.memo.CacheStats(); st.Hits == 0 {
+		t.Fatalf("no hit before re-weighting: %+v", st)
+	}
+	w := PaperWeights()
+	w.Sim1 *= 2
+	before := env.memo.CacheStats()
+	if err := env.memo.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ref.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	if after := env.memo.CacheStats(); after.Invalidations <= before.Invalidations {
+		t.Fatalf("SetWeights dropped no cached verdicts: %+v -> %+v", before, after)
+	}
+	checkNeighborhood(t, env, entities, nil, nil)
+}
+
+// TestScopeForRejectsRecycledBackingArray is the regression test for the
+// skeleton-aliasing bug: prepared scopes were keyed by (&set[0], len)
+// alone, so rebuilding a cover set in place over the same backing array
+// — same pointer, same length, different entities — reused the stale
+// skeleton. The prepared matcher must answer exactly like an unprepared
+// one for the new contents.
+func TestScopeForRejectsRecycledBackingArray(t *testing.T) {
+	env := memoGround(t, 13)
+	a, b := -1, -1
+	for i := 0; i < len(env.cover.Sets) && a < 0; i++ {
+		for j := i + 1; j < len(env.cover.Sets); j++ {
+			if len(env.cover.Sets[i]) == len(env.cover.Sets[j]) &&
+				!slices.Equal(env.cover.Sets[i], env.cover.Sets[j]) {
+				a, b = i, j
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("cover has no two equal-length distinct sets")
+	}
+	set := env.cover.Sets[a]
+	wantCands := env.memo.Candidates(slices.Clone(env.cover.Sets[b]))
+	wantMatch := env.ref.Match(slices.Clone(env.cover.Sets[b]), nil, nil)
+
+	copy(set, env.cover.Sets[b]) // recycle the backing array in place
+
+	gotCands := env.memo.Candidates(set)
+	if !slices.Equal(sortedPairs(gotCands), sortedPairs(wantCands)) {
+		t.Fatalf("recycled backing array reused a stale skeleton: %d candidates, want %d",
+			len(gotCands), len(wantCands))
+	}
+	if got := env.memo.Match(set, nil, nil); !got.Equal(wantMatch) {
+		t.Fatalf("recycled backing array: Match = %d pairs, want %d", got.Len(), wantMatch.Len())
+	}
+}
+
+func sortedPairs(ps []core.Pair) []core.PairKey {
+	out := make([]core.PairKey, len(ps))
+	for i, p := range ps {
+		out[i] = p.Key()
+	}
+	slices.Sort(out)
+	return out
+}
+
+// fuzzMemoEnv shares one memo/reference matcher pair across fuzz
+// iterations; both matchers are safe for concurrent Match calls.
+var fuzzMemoEnv = sync.OnceValue(func() *memoEnv {
+	d := datagen.MustGenerate(datagen.DBLPLike(0.1, 7))
+	cover := canopy.BuildCover(d, canopy.DefaultConfig())
+	sp := canopy.CandidatePairs(d, cover)
+	cands := make([]Candidate, len(sp))
+	for i, s := range sp {
+		cands[i] = Candidate{Pair: s.Pair, Level: s.Level}
+	}
+	memo, err := New(d, cands, PaperWeights())
+	if err != nil {
+		panic(err)
+	}
+	ref, err := New(d, cands, PaperWeights())
+	if err != nil {
+		panic(err)
+	}
+	ref.SetMemoization(false)
+	memo.PrepareCover(cover)
+	ref.PrepareCover(cover)
+	return &memoEnv{cover, memo, ref}
+})
+
+// FuzzMemoDifferential drives arbitrary evidence sequences against both
+// matchers: whatever pairs the bytes select as V+/V−, the memoized
+// Match and MaximalMessages verdicts of every visited neighborhood must
+// equal the unmemoized ones. Each neighborhood is visited twice per
+// evidence state so cache hits (not just misses) are what is compared.
+func FuzzMemoDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2}, []byte{0, 9}, uint8(3))
+	f.Add([]byte{7, 7, 1, 200}, []byte{}, uint8(0))
+	f.Add([]byte{}, []byte{3, 3, 3, 3}, uint8(250))
+	f.Fuzz(func(t *testing.T, posBytes, negBytes []byte, nbr uint8) {
+		env := fuzzMemoEnv()
+		pos, neg := core.NewPairSet(), core.NewPairSet()
+		for _, p := range pickPairs(env.memo, negBytes) {
+			neg.Add(p)
+		}
+		id := int(nbr) % env.cover.Len()
+		entities := env.cover.Sets[id]
+		grow := pickPairs(env.memo, posBytes)
+		for step := 0; ; step++ {
+			for range 2 { // second visit: unchanged evidence, hit path
+				gotM := env.memo.Match(entities, pos, neg)
+				wantM := env.ref.Match(entities, pos, neg)
+				if !gotM.Equal(wantM) {
+					t.Fatalf("step %d: memoized Match diverged", step)
+				}
+				gotMsgs, gotCalls := env.memo.MaximalMessages(entities, pos, neg, gotM)
+				wantMsgs, wantCalls := env.ref.MaximalMessages(entities, pos, neg, wantM)
+				if gotCalls != wantCalls || len(gotMsgs) != len(wantMsgs) {
+					t.Fatalf("step %d: memoized MaximalMessages diverged (%d/%d calls, %d/%d msgs)",
+						step, gotCalls, wantCalls, len(gotMsgs), len(wantMsgs))
+				}
+				for i := range gotMsgs {
+					if !slices.Equal(gotMsgs[i], wantMsgs[i]) {
+						t.Fatalf("step %d: maximal message %d diverged", step, i)
+					}
+				}
+			}
+			if len(grow) == 0 {
+				break
+			}
+			if !neg.Has(grow[0]) {
+				pos.Add(grow[0])
+			}
+			grow = grow[1:]
+		}
+	})
+}

@@ -2,6 +2,7 @@ package mln
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/unionfind"
@@ -38,12 +39,17 @@ type boundaryEdge struct {
 
 // scope is the prebuilt skeleton of one neighborhood: scoped candidate
 // ids (ascending), their Pair forms (the cached Candidates answer), the
-// local interaction list and the out-of-scope boundary.
+// local interaction list and the out-of-scope boundary. ents pins the
+// entity membership the skeleton was built from (a private copy — never
+// an alias of the cover's slice), so lookups can verify a key collision
+// away; memo holds the scope's last verdict (see memo.go).
 type scope struct {
 	ids      []int32
 	pairs    []core.Pair
 	edges    []scopeEdge
 	boundary []boundaryEdge
+	ents     []core.EntityID
+	memo     atomic.Pointer[scopeMemo]
 }
 
 // scopeKey identifies a cover neighborhood by the identity of its entity
@@ -79,13 +85,20 @@ func (m *Matcher) PrepareCover(c *core.Cover) {
 		}
 		sc := &scope{}
 		m.buildScope(set, ws, sc)
+		sc.ents = slices.Clone(set)
 		cs.byKey[scopeKey{&set[0], len(set)}] = sc
 	}
 	m.scopes.Store(cs)
 }
 
 // scopeFor returns the prepared skeleton for a cover neighborhood, or
-// nil when the entity slice is not part of the prepared cover.
+// nil when the entity slice is not part of the prepared cover. The
+// identity key is only a fast index: a slice whose backing array was
+// recycled by a cover rebuild can collide with a prior neighborhood's
+// key (same first-element address, same length, different membership),
+// so the skeleton's pinned membership is verified before it is trusted —
+// a mismatch falls back to the always-correct ephemeral path instead of
+// silently mis-scoring against a stale skeleton.
 func (m *Matcher) scopeFor(entities []core.EntityID) *scope {
 	if len(entities) == 0 {
 		return nil
@@ -94,7 +107,11 @@ func (m *Matcher) scopeFor(entities []core.EntityID) *scope {
 	if cs == nil {
 		return nil
 	}
-	return cs.byKey[scopeKey{&entities[0], len(entities)}]
+	sc := cs.byKey[scopeKey{&entities[0], len(entities)}]
+	if sc == nil || !slices.Equal(sc.ents, entities) {
+		return nil
+	}
+	return sc
 }
 
 // buildScope assembles a neighborhood skeleton into sc using the
@@ -161,6 +178,7 @@ type workspace struct {
 	posOf   []int32 // global pair id -> scope position (-1 outside)
 	inSet   []bool  // entity membership marks (buildScope only)
 	slots   []int32 // scope position -> free-variable slot (-1 decided)
+	fp      []uint8 // read-set fingerprint buffer (memo lookups)
 
 	// localModel backing storage (free/eff/deg/edges) plus the solver
 	// assignment; see buildLocal.

@@ -2,12 +2,19 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	cem "repro"
 )
+
+// ErrClosed is returned by Enqueue once Close has begun: the batcher no
+// longer accepts requests. Producers racing a shutdown get this sentinel
+// (match with errors.Is) — never a panic on the closed queue, and never
+// a done channel that no flush will ever signal.
+var ErrClosed = errors.New("serve: batcher is shut down")
 
 // Batcher coalesces asynchronously arriving ingest requests into delta
 // batches and feeds them to the committer strictly serially. A batch is
@@ -109,7 +116,7 @@ func (b *Batcher) Enqueue(ctx context.Context, records []cem.Record) (<-chan App
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
 	if b.closed {
-		return nil, fmt.Errorf("serve: batcher is shut down")
+		return nil, ErrClosed
 	}
 	select {
 	case b.reqs <- req:

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -220,4 +222,60 @@ func TestBatcherDepth(t *testing.T) {
 		t.Errorf("Depth after flush = (%d, %d, %v), want zeros", reqs, recs, oldest)
 	}
 	b.Close()
+}
+
+// TestBatcherEnqueueCloseHammer races many producers against Close and
+// context cancellation. The invariants under -race: Enqueue never
+// panics, every successful Enqueue's done channel receives exactly one
+// ApplyResult (no waiter is stranded by the shutdown), and once Close
+// has returned every further Enqueue fails with ErrClosed.
+func TestBatcherEnqueueCloseHammer(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		f := &fakeApply{}
+		b := NewBatcher(context.Background(), BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueCap: 2}, f.apply, nil)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		var delivered, closedErrs, ctxErrs atomic.Int64
+		for p := 0; p < 8; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					done, err := b.Enqueue(ctx, keys(1, fmt.Sprintf("r%d-p%d-%d", round, p, i)))
+					switch {
+					case err == nil:
+						// A queued request must resolve even when Close
+						// races the send: the drain flushes everything.
+						select {
+						case <-done:
+							delivered.Add(1)
+						case <-time.After(10 * time.Second):
+							t.Error("accepted request never resolved")
+							return
+						}
+					case errors.Is(err, ErrClosed):
+						closedErrs.Add(1)
+						return
+					default:
+						ctxErrs.Add(1) // queue-full + canceled ctx
+						return
+					}
+				}
+			}(p)
+		}
+		// Let some traffic through, then race cancellation and shutdown.
+		time.Sleep(time.Duration(round) * time.Millisecond / 2)
+		go cancel()
+		b.Close()
+		wg.Wait()
+		cancel()
+
+		if _, err := b.Enqueue(context.Background(), keys(1, "late")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Enqueue after Close: err = %v, want ErrClosed", err)
+		}
+		if delivered.Load() == 0 && closedErrs.Load() == 0 && ctxErrs.Load() == 0 {
+			t.Fatal("hammer round exercised nothing")
+		}
+	}
 }

@@ -144,6 +144,9 @@ func (c *Committer) apply(ctx context.Context, records []cem.Record) (*Committed
 			m.UpdatesCold.Inc()
 		}
 		m.MatcherCalls.Add(int64(res.Stats.MatcherCalls))
+		m.MemoHits.Add(res.Stats.Cache.Hits)
+		m.MemoMisses.Add(res.Stats.Cache.Misses)
+		m.MemoInvals.Add(res.Stats.Cache.Invalidations)
 		m.UpdateSeconds.Observe(time.Since(start).Seconds())
 		m.BlockingSeconds.Observe(res.BlockingTime.Seconds())
 		m.MatchingSeconds.Observe(res.MatchingTime.Seconds())

@@ -97,6 +97,9 @@ type Metrics struct {
 	UpdatesForced    Counter // non-additive delta forced a full re-run
 	UpdateErrors     Counter
 	MatcherCalls     Counter
+	MemoHits         Counter // matcher verdict-memo hits across committed updates
+	MemoMisses       Counter // verdict-memo misses (computed fresh, no entry)
+	MemoInvals       Counter // verdict-memo invalidations (relevant evidence changed)
 
 	// Reads.
 	Reads     Counter
@@ -211,6 +214,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeValues) error {
 
 	counter("emserve_update_errors_total", "Updates that failed (the batch was not committed).", m.UpdateErrors.Value())
 	counter("emserve_matcher_calls_total", "Matcher.Match invocations across all committed updates.", m.MatcherCalls.Value())
+	counter("emserve_memo_hits_total", "Matcher verdict-memo hits across all committed updates.", m.MemoHits.Value())
+	counter("emserve_memo_misses_total", "Matcher verdict-memo misses (computed fresh, no cached entry).", m.MemoMisses.Value())
+	counter("emserve_memo_invalidations_total", "Matcher verdict-memo invalidations (cached entry's relevant evidence changed).", m.MemoInvals.Value())
 	counter("emserve_reads_total", "Read requests served from the committed snapshot.", m.Reads.Value())
 	counter("emserve_read_miss_total", "Read lookups of record keys absent from the committed snapshot.", m.ReadMiss.Value())
 	counter("emserve_bad_inputs_total", "Malformed ingest payloads rejected with a client error.", m.BadInputs.Value())
@@ -235,18 +241,26 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeValues) error {
 	return bw.err
 }
 
-// histogram renders one histogram family with cumulative buckets.
+// histogram renders one histogram family with cumulative buckets. The
+// per-bucket counters are snapshotted once and `_count` is the +Inf
+// cumulative of that same snapshot — deriving it from h.Count() instead
+// can disagree with the buckets when Observe runs concurrently with a
+// scrape, which strict text-format parsers reject.
 func histogram(w io.Writer, name, help string, h *Histogram) {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	cum := int64(0)
 	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
+		cum += counts[i]
 		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(b), cum)
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += counts[len(h.bounds)]
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // formatFloat renders a float the way Prometheus expects: plain decimal

@@ -70,6 +70,15 @@ type Result = core.Result
 // promoted sets, wall time, …).
 type RunStats = core.RunStats
 
+// CacheReport accounts a matcher's cross-neighborhood verdict memo over
+// one run (hits, misses, invalidations); see RunStats.Cache.
+type CacheReport = core.CacheReport
+
+// CacheReporter is the optional matcher extension exposing cumulative
+// verdict-memo counters; schemes report the per-run delta in
+// RunStats.Cache.
+type CacheReporter = core.CacheReporter
+
 // ProgressEvent is delivered to progress callbacks after every
 // neighborhood evaluation.
 type ProgressEvent = core.ProgressEvent

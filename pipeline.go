@@ -64,12 +64,29 @@ type PipelineStats struct {
 	// and Update (the new batch only): the total stream length so far
 	// when one pipeline owns the whole stream.
 	RecordsIngested int64
+	// CacheHits/CacheMisses/CacheInvalidations accumulate the per-run
+	// verdict-memo reports (RunStats.Cache) across every completed run —
+	// all zero when the configured matcher keeps no memo. Warm Updates
+	// on a long-lived matcher are where hits concentrate: neighborhoods
+	// re-activated by a delta whose relevant evidence did not change are
+	// served from cache.
+	CacheHits          int64
+	CacheMisses        int64
+	CacheInvalidations int64
 }
 
 // pipelineCounters is the internal atomic form of PipelineStats.
 type pipelineCounters struct {
 	runs, updates, coldStarts, warmStarted, forcedReruns atomic.Int64
 	matcherCalls, recordsIngested                        atomic.Int64
+	cacheHits, cacheMisses, cacheInvals                  atomic.Int64
+}
+
+// addCache folds one run's verdict-memo report into the counters.
+func (c *pipelineCounters) addCache(r match.CacheReport) {
+	c.cacheHits.Add(r.Hits)
+	c.cacheMisses.Add(r.Misses)
+	c.cacheInvals.Add(r.Invalidations)
 }
 
 // Stats returns a snapshot of the pipeline's cumulative counters. The
@@ -78,13 +95,16 @@ type pipelineCounters struct {
 // each counter is itself always consistent.
 func (p *Pipeline) Stats() PipelineStats {
 	return PipelineStats{
-		Runs:            p.stats.runs.Load(),
-		Updates:         p.stats.updates.Load(),
-		ColdStarts:      p.stats.coldStarts.Load(),
-		WarmStarted:     p.stats.warmStarted.Load(),
-		ForcedReruns:    p.stats.forcedReruns.Load(),
-		MatcherCalls:    p.stats.matcherCalls.Load(),
-		RecordsIngested: p.stats.recordsIngested.Load(),
+		Runs:               p.stats.runs.Load(),
+		Updates:            p.stats.updates.Load(),
+		ColdStarts:         p.stats.coldStarts.Load(),
+		WarmStarted:        p.stats.warmStarted.Load(),
+		ForcedReruns:       p.stats.forcedReruns.Load(),
+		MatcherCalls:       p.stats.matcherCalls.Load(),
+		RecordsIngested:    p.stats.recordsIngested.Load(),
+		CacheHits:          p.stats.cacheHits.Load(),
+		CacheMisses:        p.stats.cacheMisses.Load(),
+		CacheInvalidations: p.stats.cacheInvals.Load(),
 	}
 }
 
@@ -306,6 +326,7 @@ func (p *Pipeline) run(ctx context.Context, records []Record, resume bool) (*Pip
 	p.stats.runs.Add(1)
 	p.stats.matcherCalls.Add(int64(res.Stats.MatcherCalls))
 	p.stats.recordsIngested.Add(int64(len(records)))
+	p.stats.addCache(res.Stats.Cache)
 	return out, nil
 }
 
@@ -441,6 +462,7 @@ func (p *Pipeline) Update(ctx context.Context, prior *PipelineResult, newRecords
 	}
 	p.stats.matcherCalls.Add(int64(res.Stats.MatcherCalls))
 	p.stats.recordsIngested.Add(int64(len(newRecords)))
+	p.stats.addCache(res.Stats.Cache)
 	return out, nil
 }
 

@@ -354,7 +354,8 @@ func TestPipelineStats(t *testing.T) {
 	cuts := []int{n * 7 / 10, n * 8 / 10, n * 9 / 10, n}
 	var state *cem.PipelineResult
 	lo, warm := 0, 0
-	var calls, ingested int64
+	var calls, ingested, warmHits int64
+	var cache cem.CacheReport
 	for _, hi := range cuts {
 		state, err = pipe.Update(context.Background(), state, records[lo:hi])
 		if err != nil {
@@ -362,9 +363,13 @@ func TestPipelineStats(t *testing.T) {
 		}
 		if state.WarmStarted {
 			warm++
+			warmHits += state.Stats.Cache.Hits
 		}
 		calls += int64(state.Stats.MatcherCalls)
 		ingested += int64(hi - lo)
+		cache.Hits += state.Stats.Cache.Hits
+		cache.Misses += state.Stats.Cache.Misses
+		cache.Invalidations += state.Stats.Cache.Invalidations
 		lo = hi
 	}
 
@@ -390,6 +395,22 @@ func TestPipelineStats(t *testing.T) {
 	}
 	if got.Runs != 0 {
 		t.Errorf("Runs = %d, want 0 (no Run calls)", got.Runs)
+	}
+	// The default mln matcher memoizes verdicts: the pipeline counters
+	// must equal the per-update RunStats.Cache sum, and the warm updates
+	// must actually be served hits (re-activated neighborhoods whose
+	// relevant evidence did not change).
+	if got.CacheHits != cache.Hits || got.CacheMisses != cache.Misses ||
+		got.CacheInvalidations != cache.Invalidations {
+		t.Errorf("cache counters = %d/%d/%d, want %d/%d/%d (sum of per-update reports)",
+			got.CacheHits, got.CacheMisses, got.CacheInvalidations,
+			cache.Hits, cache.Misses, cache.Invalidations)
+	}
+	if got.CacheMisses == 0 {
+		t.Error("CacheMisses = 0: no evaluation ever consulted the memo")
+	}
+	if warmHits == 0 {
+		t.Error("warm incremental updates recorded no cache hits")
 	}
 
 	// A cold Run on the same pipeline lands in Runs, not Updates.
