@@ -28,7 +28,7 @@ BENCHTIME     ?= 5x
 # their own, much higher iteration floor.
 MATCHER_BENCHTIME ?= 500x
 
-.PHONY: build test race bench bench-json bench-compare cover cover-check fuzz fmt vet clean service-smoke
+.PHONY: build test race bench bench-json bench-compare cover cover-check fuzz fmt vet clean service-smoke chaos-smoke
 
 build:
 	$(GO) build $(GOFLAGS) ./...
@@ -86,6 +86,13 @@ cover-check:
 # identical state. CI runs it as its own job.
 service-smoke:
 	bash scripts/service-smoke.sh
+
+# chaos-smoke drives the sharded-net backend with real OS processes: a
+# coordinator against 3 emworker processes, one SIGKILLed at its round-2
+# assignment, asserting the match set stays byte-identical to a cold
+# single-process run. CI runs it as its own job.
+chaos-smoke:
+	bash scripts/chaos-smoke.sh
 
 # fuzz smoke-runs the engine's two correctness-critical fuzz targets:
 # dense-vs-naive scoring and the wire codec round trip (the nightly CI

@@ -17,6 +17,8 @@
 //	emmatch -ingest day1.tsv,day2.tsv,day3.tsv -scheme smp -v
 //	emmatch -kind hepth -backend sharded -backend-shards 4 -checkpoint-dir run1/
 //	emmatch -kind hepth -scheme smp -checkpoint-dir run1/ -resume
+//	emmatch -kind hepth -backend sharded-net -backend-shards 3
+//	emmatch -kind hepth -backend sharded-net -worker-addrs 127.0.0.1:7401,127.0.0.1:7402
 package main
 
 import (
@@ -61,11 +63,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shards   = fs.Int("shards", 0, "blocking shards for -records (0 = one per CPU; -ingest's delta index blocks serially)")
 		maxNbr   = fs.Int("max-neighborhood", 0, "canopy size bound for -records/-ingest (0 = unbounded)")
 		backend  = fs.String("backend", "", "execution backend: "+strings.Join(cem.Backends(), " | ")+" (empty = default pool)")
-		bShards  = fs.Int("backend-shards", 0, "shard count for the sharded backend (0 = one per CPU)")
+		bShards  = fs.Int("backend-shards", 0, "shard/worker count for the sharded and sharded-net backends (0 = default)")
+		wAddrs   = fs.String("worker-addrs", "", "comma-separated emworker addresses (host:port or unix:/path.sock) for -backend sharded-net; empty spawns in-process workers")
 		ckptDir  = fs.String("checkpoint-dir", "", "persist a checkpoint after every round to this directory")
 		resume   = fs.Bool("resume", false, "continue the run from -checkpoint-dir instead of starting over")
 		progress = fs.Bool("progress", false, "print a line per neighborhood evaluation")
 		verbose  = fs.Bool("v", false, "print run statistics")
+		dump     = fs.String("dump-matches", "", "write the final match pairs (sorted, one per line) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,8 +78,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
-	if *bShards != 0 && *backend != "sharded" {
-		return fmt.Errorf("-backend-shards requires -backend sharded (got -backend %q)", *backend)
+	if *bShards != 0 && *backend != "sharded" && *backend != "sharded-net" {
+		return fmt.Errorf("-backend-shards requires -backend sharded or sharded-net (got -backend %q)", *backend)
+	}
+	if *wAddrs != "" && *backend != "sharded-net" {
+		return fmt.Errorf("-worker-addrs requires -backend sharded-net (got -backend %q)", *backend)
 	}
 	modes := 0
 	for _, m := range []string{*in, *records, *ingest} {
@@ -91,7 +98,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := []cem.RunnerOption{cem.WithParallelism(*parallel)}
-	if *backend != "" {
+	if *wAddrs != "" {
+		addrs := strings.Split(*wAddrs, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		opts = append(opts, cem.WithBackend(cem.NewShardedNetBackend(0, addrs...)))
+	} else if *backend != "" {
 		b, err := cem.NewBackend(*backend, *bShards)
 		if err != nil {
 			return err
@@ -169,7 +182,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *verbose {
 		fmt.Fprintf(stdout, "stats: %s\n", res.Stats)
 	}
+	if *dump != "" {
+		if err := dumpMatches(*dump, res.Matches); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpMatches writes the final match set in the canonical fixture form:
+// a count header plus one sorted "a b" pair per line. Two runs agree iff
+// their dump files are byte-identical — the contract chaos-smoke checks
+// across process boundaries.
+func dumpMatches(path string, matches match.PairSet) error {
+	var b strings.Builder
+	pairs := matches.Sorted()
+	fmt.Fprintf(&b, "# %d matches\n", len(pairs))
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%d %d\n", p.A, p.B)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // pipelineConfig bundles the pipeline-mode options shared by -records

@@ -80,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 			MaxDelay: *maxDelay,
 			QueueCap: *queueCap,
 		},
+		Logf: func(format string, a ...any) { fmt.Fprintf(stderr, "emserve: "+format+"\n", a...) },
 	})
 	if err != nil {
 		return err

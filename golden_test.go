@@ -73,8 +73,13 @@ func TestGoldenMatchSets(t *testing.T) {
 			}
 			shardCounts := []int{1, 2, 4}
 			sharded := make([]*cem.Runner, len(shardCounts))
+			shardedNet := make([]*cem.Runner, len(shardCounts))
 			for i, k := range shardCounts {
 				sharded[i], err = exp.Runner(matcher, cem.WithShardCount(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				shardedNet[i], err = exp.Runner(matcher, cem.WithBackend(cem.NewShardedNetBackend(k)))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -132,6 +137,20 @@ func TestGoldenMatchSets(t *testing.T) {
 						if sgot := renderMatches(sres); sgot != string(want) {
 							t.Errorf("sharded(%d) match set diverges from %s: %s",
 								k, path, firstDiff(sgot, string(want)))
+						}
+					}
+					// The distributed sharded-net backend — coordinator plus
+					// K wire-connected workers — must reproduce the fixture
+					// too: the worker boundary adds supervision, never
+					// semantics.
+					for i, k := range shardCounts {
+						nres, err := shardedNet[i].Run(context.Background(), scheme)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if ngot := renderMatches(nres); ngot != string(want) {
+							t.Errorf("sharded-net(%d) match set diverges from %s: %s",
+								k, path, firstDiff(ngot, string(want)))
 						}
 					}
 				})

@@ -31,9 +31,12 @@ type RoundPlan struct {
 	CanSkip bool
 }
 
-// newRoundPlan validates the scheme, announces the cover to a
-// scope-preparing matcher, and builds the plan.
-func newRoundPlan(cfg Config, scheme string) (*RoundPlan, error) {
+// NewRoundPlan validates the scheme, announces the cover to a
+// scope-preparing matcher, and builds the plan. It is exported for
+// out-of-process executors (cmd/emworker) that must reconstruct the
+// identical plan from the same configuration; in-process callers go
+// through RunBackend, which builds the plan itself.
+func NewRoundPlan(cfg Config, scheme string) (*RoundPlan, error) {
 	plan := &RoundPlan{Config: cfg, Scheme: scheme}
 	switch scheme {
 	case "NO-MP":
@@ -50,6 +53,13 @@ func newRoundPlan(cfg Config, scheme string) (*RoundPlan, error) {
 	}
 	plan.CanSkip = prepareScopes(&plan.Config)
 	return plan, nil
+}
+
+// Evaluate runs one neighborhood against the given evidence replica —
+// the Map unit a remote worker executes against its private copy of
+// M+. It is a read-only use of the plan and safe to call concurrently.
+func (p *RoundPlan) Evaluate(id int32, evidence PairSet, allowSkip bool) Job {
+	return evalNeighborhood(&p.Config, id, evidence, p.WithMessages, allowSkip, p.Prob)
 }
 
 // Backend executes the rounds of a message-passing scheme. A backend

@@ -2,12 +2,14 @@ package core_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/testmodel"
@@ -308,5 +310,60 @@ func TestFreshRunClearsStaleTrail(t *testing.T) {
 	}
 	if !resumed.Matches.Equal(full.Matches) {
 		t.Error("trail left by a fresh run does not reproduce its result")
+	}
+}
+
+// wrappingBackend returns ctx cancellation wrapped in an internal error
+// — the shape driveRounds must normalize away.
+type wrappingBackend struct{}
+
+func (wrappingBackend) RunRounds(ctx context.Context, plan *core.RoundPlan, d *core.RoundDriver) error {
+	<-ctx.Done()
+	return fmt.Errorf("backend: round 1 aborted: %w", ctx.Err())
+}
+
+// TestBackendsReturnBareCtxErr pins the cancellation contract for every
+// backend: when ctx cancellation races a round boundary, RunBackend
+// returns exactly ctx.Err() — context.Canceled itself, not a wrapped
+// internal error — so callers can switch on it uniformly.
+func TestBackendsReturnBareCtxErr(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	backends := map[string]core.Backend{
+		"pool":     core.PoolBackend{},
+		"sharded":  &core.ShardedBackend{Shards: 3},
+		"wrapping": wrappingBackend{},
+	}
+	for name, b := range backends {
+		for _, scheme := range []string{"SMP", "MMP"} {
+			ctx, cancel := context.WithCancel(context.Background())
+			// Cancel from inside the run, after the first evaluation
+			// reports — the racy boundary the contract is about.
+			cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation(),
+				Progress: func(core.ProgressEvent) { cancel() }}
+			if name == "wrapping" {
+				cancel() // never evaluates; blocks on ctx instead
+			}
+			_, err := core.RunBackend(ctx, cfg, scheme, b, core.CheckpointConfig{})
+			if err != context.Canceled {
+				t.Errorf("%s/%s: want bare context.Canceled, got %v (type %T)", name, scheme, err, err)
+			}
+			cancel()
+		}
+	}
+}
+
+// TestBackendsReturnBareDeadlineErr is the DeadlineExceeded twin.
+func TestBackendsReturnBareDeadlineErr(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	for name, b := range map[string]core.Backend{
+		"pool": core.PoolBackend{}, "sharded": &core.ShardedBackend{Shards: 2},
+	} {
+		ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
+		_, err := core.RunBackend(ctx, cfg, "SMP", b, core.CheckpointConfig{})
+		if err != context.DeadlineExceeded {
+			t.Errorf("%s: want bare context.DeadlineExceeded, got %v (type %T)", name, err, err)
+		}
+		cancel()
 	}
 }

@@ -59,6 +59,23 @@ type RunStats struct {
 	// resumed run reports only its own process's cache activity).
 	Cache CacheReport
 
+	// Resilience counters, maintained by distributed backends
+	// (internal/net). Like Cache they are per-process savings/cost
+	// accounting, never part of the matching output, and checkpoint
+	// trails do not persist them — a resumed run reports only its own
+	// process's transport events. All three are monotone within a run.
+
+	// Reassignments counts partitions re-executed on a different worker
+	// after their assigned worker died or breached the round deadline.
+	Reassignments int
+	// RetriedSends counts transport sends retried after a transient
+	// error (the successful first attempts are not counted).
+	RetriedSends int
+	// LateBatchesDropped counts ShardBatches discarded because their
+	// epoch was stale — a zombie worker answering an assignment that had
+	// already been reassigned and accounted.
+	LateBatchesDropped int
+
 	// ActiveSizes records, for every neighborhood evaluation, the number
 	// of *active* matching decisions: in-scope candidate pairs not yet in
 	// the evidence set. This is the quantity §6.2 credits for SMP/MMP
@@ -83,6 +100,10 @@ func (s RunStats) String() string {
 		s.MessagesSent, s.MaximalMessages, s.PromotedSets, s.Elapsed)
 	if s.Cache.Lookups() > 0 {
 		base += " " + s.Cache.String()
+	}
+	if s.Reassignments > 0 || s.RetriedSends > 0 || s.LateBatchesDropped > 0 {
+		base += fmt.Sprintf(" reassigned=%d retriedSends=%d lateDropped=%d",
+			s.Reassignments, s.RetriedSends, s.LateBatchesDropped)
 	}
 	return base
 }

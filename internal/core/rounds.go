@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"slices"
 	"time"
 )
@@ -162,6 +163,24 @@ func (d *RoundDriver) FinishRound(jobs []Job) error {
 	return nil
 }
 
+// AccountResilience adds a distributed backend's transport events to
+// the run's stats: partitions reassigned after a worker death or
+// deadline breach, sends retried after transient errors, and stale-
+// epoch batches dropped. Counters are monotone (negative increments are
+// ignored) and, like the cache report, are per-process — checkpoint
+// trails do not persist them.
+func (d *RoundDriver) AccountResilience(reassignments, retriedSends, lateDropped int) {
+	if reassignments > 0 {
+		d.res.Stats.Reassignments += reassignments
+	}
+	if retriedSends > 0 {
+		d.res.Stats.RetriedSends += retriedSends
+	}
+	if lateDropped > 0 {
+		d.res.Stats.LateBatchesDropped += lateDropped
+	}
+}
+
 // RoundDelta returns the just-finished round's evidence delta (new
 // matches plus promotions) in ascending PairKey order — the canonical
 // batch a distributed backend broadcasts to its shards. Computed on
@@ -210,7 +229,7 @@ func copyMessages(msgs [][]Pair) [][]Pair {
 // whose run already completed rebuilds the result from the checkpoint
 // trail without evaluating anything.
 func RunBackend(ctx context.Context, cfg Config, scheme string, b Backend, ck CheckpointConfig) (*Result, error) {
-	plan, err := newRoundPlan(cfg, scheme)
+	plan, err := NewRoundPlan(cfg, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -219,9 +238,25 @@ func RunBackend(ctx context.Context, cfg Config, scheme string, b Backend, ck Ch
 		return nil, err
 	}
 	if !d.Done() {
-		if err := b.RunRounds(ctx, plan, d); err != nil {
+		if err := driveRounds(ctx, b, plan, d); err != nil {
 			return nil, err
 		}
 	}
 	return d.finish(), nil
+}
+
+// driveRounds delegates to the backend and unifies the cancellation
+// error path: every backend — in-process or distributed — surfaces
+// cancellation racing a round boundary as the bare ctx.Err(), never a
+// wrapped internal error, so callers can select on context.Canceled /
+// context.DeadlineExceeded regardless of the backend in use.
+func driveRounds(ctx context.Context, b Backend, plan *RoundPlan, d *RoundDriver) error {
+	err := b.RunRounds(ctx, plan, d)
+	if err == nil {
+		return nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+		return ctxErr
+	}
+	return err
 }

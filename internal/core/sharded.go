@@ -56,7 +56,7 @@ func (s *shard) runRound(plan *RoundPlan, round int, ids []int32, allowSkip bool
 	batch := &wire.ShardBatch{Round: round, Shard: s.id, Jobs: make([]wire.Job, len(ids))}
 	for i, id := range ids {
 		j := evalNeighborhood(&plan.Config, id, s.evidence, plan.WithMessages, allowSkip, plan.Prob)
-		batch.Jobs[i] = jobToWire(&j)
+		batch.Jobs[i] = JobToWire(&j)
 	}
 	return batch.Marshal(format)
 }
@@ -157,7 +157,7 @@ func (b *ShardedBackend) RunRounds(ctx context.Context, plan *RoundPlan, d *Roun
 				return fmt.Errorf("core: shard %d round %d: job %d evaluates neighborhood %d, want %d",
 					s, round, cursor[s]-1, wj.ID, id)
 			}
-			jobs[i] = jobFromWire(wj)
+			jobs[i] = JobFromWire(wj)
 		}
 
 		// Reduce centrally, then broadcast the round's merged evidence
@@ -188,8 +188,10 @@ func (b *ShardedBackend) RunRounds(ctx context.Context, plan *RoundPlan, d *Roun
 	return nil
 }
 
-// jobToWire serializes one evaluation result.
-func jobToWire(j *Job) wire.Job {
+// JobToWire serializes one evaluation result for shipment to the
+// central reducer. Exported so out-of-process workers (internal/net,
+// cmd/emworker) ship exactly what the in-process sharded backend ships.
+func JobToWire(j *Job) wire.Job {
 	w := wire.Job{
 		ID:      j.id,
 		Skipped: j.skipped,
@@ -217,8 +219,8 @@ func jobToWire(j *Job) wire.Job {
 	return w
 }
 
-// jobFromWire reconstructs an evaluation result from the wire form.
-func jobFromWire(w *wire.Job) Job {
+// JobFromWire reconstructs an evaluation result from the wire form.
+func JobFromWire(w *wire.Job) Job {
 	j := Job{
 		id:      w.ID,
 		skipped: w.Skipped,

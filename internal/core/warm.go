@@ -106,7 +106,7 @@ func RunBackendFrom(ctx context.Context, cfg Config, scheme string, b Backend, c
 	if ck.Resume {
 		return nil, fmt.Errorf("core: warm start and checkpoint resume are mutually exclusive (resume a warm-started trail with RunBackend)")
 	}
-	plan, err := newRoundPlan(cfg, scheme)
+	plan, err := NewRoundPlan(cfg, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func RunBackendFrom(ctx context.Context, cfg Config, scheme string, b Backend, c
 		return nil, err
 	}
 	if !d.Done() {
-		if err := b.RunRounds(ctx, plan, d); err != nil {
+		if err := driveRounds(ctx, b, plan, d); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,194 @@
+package net_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	stdnet "net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	emnet "repro/internal/net"
+	"repro/internal/testmodel"
+	"repro/internal/wire"
+)
+
+var bg = context.Background()
+
+// randomModel mirrors the core test-suite's model builder: a random
+// supermodular model with mostly-negative unaries and a random cover
+// patched for full coverage. Free-variable counts stay brute-forceable.
+func randomModel(rng *rand.Rand) (*testmodel.Model, *core.Cover) {
+	n := 6 + rng.Intn(5)
+	m := testmodel.New(n)
+	var pairs []core.Pair
+	target := 4 + rng.Intn(6)
+	for len(pairs) < target {
+		a, b := core.EntityID(rng.Intn(n)), core.EntityID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		p := core.MakePair(a, b)
+		if _, ok := m.Unary[p]; ok {
+			continue
+		}
+		m.AddPair(p.A, p.B, -6+rng.Float64()*8)
+		pairs = append(pairs, p)
+	}
+	nInter := rng.Intn(2 * len(pairs))
+	for i := 0; i < nInter; i++ {
+		p, q := pairs[rng.Intn(len(pairs))], pairs[rng.Intn(len(pairs))]
+		if p == q {
+			continue
+		}
+		m.AddInteraction(p, q, rng.Float64()*9)
+	}
+	k := 2 + rng.Intn(3)
+	sets := make([][]core.EntityID, k)
+	for e := 0; e < n; e++ {
+		placed := false
+		for s := 0; s < k; s++ {
+			if rng.Float64() < 0.55 {
+				sets[s] = append(sets[s], core.EntityID(e))
+				placed = true
+			}
+		}
+		if !placed {
+			sets[rng.Intn(k)] = append(sets[rng.Intn(k)], core.EntityID(e))
+		}
+	}
+	return m, core.NewCover(n, sets)
+}
+
+func runOn(t *testing.T, cfg core.Config, scheme string, b core.Backend) *core.Result {
+	t.Helper()
+	res, err := core.RunBackend(bg, cfg, scheme, b, core.CheckpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertSameRun fails unless the two results carry the same match set
+// and the same deterministic statistics. Wall-clock and resilience
+// counters are excluded: how often the transport stumbled is exactly
+// what faults perturb, and the theorems promise it never shows in
+// anything else.
+func assertSameRun(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if !got.Matches.Equal(want.Matches) {
+		t.Errorf("%s: match sets diverge: %d vs %d matches", label, got.Matches.Len(), want.Matches.Len())
+	}
+	gs, ws := got.Stats, want.Stats
+	if gs.Evaluations != ws.Evaluations || gs.MatcherCalls != ws.MatcherCalls ||
+		gs.MessagesSent != ws.MessagesSent || gs.MaximalMessages != ws.MaximalMessages ||
+		gs.PromotedSets != ws.PromotedSets || gs.Skips != ws.Skips ||
+		gs.MaxRevisits != ws.MaxRevisits || len(gs.ActiveSizes) != len(ws.ActiveSizes) {
+		t.Errorf("%s: deterministic stats diverge:\ngot:  %v\nwant: %v", label, got.Stats, want.Stats)
+	}
+}
+
+var netSchemes = []string{"NO-MP", "SMP", "MMP"}
+
+// TestNetMatchesPoolRandom: with no faults, the sharded-net backend
+// must land on the pool backend's exact output — match set AND
+// deterministic statistics — for every worker count, every round-based
+// scheme, both wire codecs. Same contract the in-process sharded
+// backend pins, now across the full coordinator/worker protocol.
+func TestNetMatchesPoolRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		m, cover := randomModel(rng)
+		cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
+		for _, scheme := range netSchemes {
+			pool := runOn(t, cfg, scheme, core.PoolBackend{})
+			for _, k := range []int{1, 2, 3} {
+				for _, format := range []wire.Format{wire.Binary, wire.JSON} {
+					net := runOn(t, cfg, scheme, &emnet.Backend{Workers: k, Opts: emnet.Options{Format: format}})
+					label := fmt.Sprintf("trial %d %s k=%d fmt=%v", trial, scheme, k, format)
+					assertSameRun(t, label, net, pool)
+					if r := net.Stats; r.Reassignments+r.RetriedSends+r.LateBatchesDropped != 0 {
+						t.Errorf("%s: fault-free run reports resilience events: %v", label, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNetMoreWorkersThanNeighborhoods: idle slots (fewer partitions
+// than workers) must not wedge or perturb the run.
+func TestNetMoreWorkersThanNeighborhoods(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
+	pool := runOn(t, cfg, "SMP", core.PoolBackend{})
+	net := runOn(t, cfg, "SMP", &emnet.Backend{Workers: cover.Len() + 3})
+	assertSameRun(t, "oversized fleet", net, pool)
+}
+
+// TestNetBackendReturnsBareCtxErr: cancellation racing a round
+// boundary surfaces as the bare ctx.Err(), the contract every backend
+// pins so callers can errors.Is without knowing the executor.
+func TestNetBackendReturnsBareCtxErr(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, cover := randomModel(rng)
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation(),
+		Progress: func(core.ProgressEvent) { cancel() }}
+	_, err := core.RunBackend(ctx, cfg, "SMP", &emnet.Backend{Workers: 2}, core.CheckpointConfig{})
+	if err != context.Canceled {
+		t.Fatalf("canceled run returned %v, want bare context.Canceled", err)
+	}
+}
+
+// TestNetHandshakeRejectsMismatch: a worker grounded on a different
+// run fingerprint (here: a different matcher label) must be refused at
+// handshake, and with no other workers the run fails instead of
+// computing against the wrong model.
+func TestNetHandshakeRejectsMismatch(t *testing.T) {
+	m, cover, _ := testmodel.PaperExample()
+	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
+	b := &emnet.Backend{Workers: 1, Opts: emnet.Options{
+		Matcher:      "model-A",
+		RetryBackoff: time.Millisecond,
+		Spawn:        emnet.LocalSpawner(cfg, "SMP", emnet.WorkerOptions{Matcher: "model-B"}),
+	}}
+	_, err := core.RunBackend(bg, cfg, "SMP", b, core.CheckpointConfig{})
+	if err == nil {
+		t.Fatal("mismatched matcher fingerprint was accepted")
+	}
+}
+
+// TestNetOverSockets runs real emworker-style servers — one unix
+// socket, one TCP — and attaches them via DialSpawner addresses,
+// asserting the socketed run is byte-identical to pool.
+func TestNetOverSockets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, cover := randomModel(rng)
+	cfg := core.Config{Cover: cover, Matcher: m, Relation: m.Relation()}
+	scheme := "MMP"
+
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	sock := filepath.Join(t.TempDir(), "w0.sock")
+	ul, err := stdnet.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []stdnet.Listener{ul, tl} {
+		go emnet.Serve(ctx, l, cfg, scheme, emnet.WorkerOptions{})
+	}
+
+	pool := runOn(t, cfg, scheme, core.PoolBackend{})
+	net := runOn(t, cfg, scheme, &emnet.Backend{
+		Addrs: []string{"unix:" + sock, tl.Addr().String()},
+	})
+	assertSameRun(t, "socketed run", net, pool)
+}

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,7 @@ type Committer struct {
 	pipe       *cem.Pipeline
 	journalDir string
 	metrics    *Metrics
+	logf       func(format string, args ...any)
 
 	mu         sync.Mutex // serializes Apply/Recover
 	journalSeq int        // highest journaled batch number
@@ -47,6 +50,12 @@ func WithJournal(dir string) CommitterOption {
 // WithMetrics wires the commit path into a metrics registry.
 func WithMetrics(m *Metrics) CommitterOption {
 	return func(c *Committer) { c.metrics = m }
+}
+
+// WithCommitterLog installs a logger for recovery events (quarantined
+// journal files). Nil (the default) is silent.
+func WithCommitterLog(logf func(format string, args ...any)) CommitterOption {
+	return func(c *Committer) { c.logf = logf }
 }
 
 // NewCommitter builds a committer over a pipeline. The pipeline's
@@ -147,6 +156,9 @@ func (c *Committer) apply(ctx context.Context, records []cem.Record) (*Committed
 		m.MemoHits.Add(res.Stats.Cache.Hits)
 		m.MemoMisses.Add(res.Stats.Cache.Misses)
 		m.MemoInvals.Add(res.Stats.Cache.Invalidations)
+		m.Reassignments.Add(int64(res.Stats.Reassignments))
+		m.RetriedSends.Add(int64(res.Stats.RetriedSends))
+		m.LateBatches.Add(int64(res.Stats.LateBatchesDropped))
 		m.UpdateSeconds.Observe(time.Since(start).Seconds())
 		m.BlockingSeconds.Observe(res.BlockingTime.Seconds())
 		m.MatchingSeconds.Observe(res.MatchingTime.Seconds())
@@ -156,6 +168,13 @@ func (c *Committer) apply(ctx context.Context, records []cem.Record) (*Committed
 	c.cur.Store(state)
 	return state, nil
 }
+
+// journalFooter marks the end of a fully written journal file: a
+// comment line (so ReadRecords ignores it) carrying the record count.
+// A file missing it — or carrying a count the records don't add up to —
+// was torn mid-write; Recover refuses to treat a clean-parsing prefix
+// of a torn file as a complete batch.
+const journalFooter = "# journal-end %d\n"
 
 // journal persists a batch before it is applied (tmp + rename + fsync,
 // like the checkpoint trail). Returns "" when journaling is disabled.
@@ -172,6 +191,9 @@ func (c *Committer) journal(records []cem.Record) (string, error) {
 		return "", fmt.Errorf("serve: journal: %w", err)
 	}
 	err = cem.WriteRecords(f, fmt.Sprintf("batch-%06d", c.journalSeq), records)
+	if err == nil {
+		_, err = fmt.Fprintf(f, journalFooter, len(records))
+	}
 	if err == nil {
 		err = f.Sync()
 	}
@@ -200,6 +222,15 @@ func (c *Committer) journal(records []cem.Record) (string, error) {
 // Pipeline.Update exactly as they were originally applied — equivalent
 // by the incremental differential guarantee. Returns the number of
 // journaled batches restored.
+//
+// A crash can tear the journal itself: die inside journal() and the
+// trailing batch file may hold half a record line, or parse cleanly yet
+// stop short of its commit footer. Such a file describes a batch that
+// was never applied (journaling strictly precedes Update), so Recover
+// quarantines it — renamed to <file>.corrupt, counted in metrics,
+// logged — and restores the intact prefix. An unreadable file anywhere
+// BUT the tail is a hard error: dropping it would silently lose the
+// committed batches journaled after it.
 func (c *Committer) Recover(ctx context.Context, tryResume bool) (int, error) {
 	if c.journalDir == "" {
 		return 0, nil
@@ -215,22 +246,45 @@ func (c *Committer) Recover(ctx context.Context, tryResume bool) (int, error) {
 	if len(paths) == 0 {
 		return 0, nil
 	}
-	batches := make([][]cem.Record, len(paths))
-	var all []cem.Record
+	var (
+		batches [][]cem.Record
+		all     []cem.Record
+	)
 	for i, p := range paths {
-		f, err := os.Open(p)
-		if err != nil {
-			return 0, fmt.Errorf("serve: recover: %w", err)
-		}
-		_, recs, rerr := cem.ReadRecords(f)
-		f.Close()
+		recs, rerr := readJournalFile(p)
 		if rerr != nil {
-			return 0, fmt.Errorf("serve: recover %s: %w", p, rerr)
+			if i != len(paths)-1 {
+				// Damage in the MIDDLE of the journal means committed
+				// history after it would be silently lost on replay —
+				// that is data corruption, not a torn tail, and no
+				// automatic recovery is honest about it.
+				return 0, fmt.Errorf("serve: recover %s: %w (not the trailing file; refusing to drop the journaled batches after it)", p, rerr)
+			}
+			// The trailing file was torn by a crash mid-journal: the
+			// batch was never applied (journaling happens strictly
+			// before Update), so quarantining it loses nothing that was
+			// ever committed. Rename it aside for inspection and
+			// recover the intact prefix.
+			q := p + ".corrupt"
+			if qerr := os.Rename(p, q); qerr != nil {
+				return 0, fmt.Errorf("serve: recover: quarantining %s: %v (parse error: %w)", p, qerr, rerr)
+			}
+			if c.metrics != nil {
+				c.metrics.JournalQuarantined.Inc()
+			}
+			if c.logf != nil {
+				c.logf("recover: quarantined torn journal file %s -> %s: %v", p, q, rerr)
+			}
+			paths = paths[:i]
+			break
 		}
-		batches[i] = recs
+		batches = append(batches, recs)
 		all = append(all, recs...)
 	}
 	c.journalSeq = len(paths)
+	if len(paths) == 0 {
+		return 0, nil
+	}
 
 	if tryResume {
 		if res, err := c.pipe.Resume(ctx, all); err == nil {
@@ -249,4 +303,30 @@ func (c *Committer) Recover(ctx context.Context, tryResume bool) (int, error) {
 		}
 	}
 	return len(paths), nil
+}
+
+// readJournalFile parses one journal batch file and verifies it is
+// complete: the records parse, and the last line is the commit footer
+// carrying exactly their count. Any truncation that loses content fails
+// here — cutting a record line breaks the parse, and cutting at a line
+// boundary (a clean-parsing prefix) removes or shortens the footer,
+// which is the final line of every fully journaled batch. A file
+// missing only the footer's trailing newline still holds every record
+// and the full count, so it is accepted: quarantining it would discard
+// an accepted batch for one lost terminator byte.
+func readJournalFile(path string) ([]cem.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	_, recs, err := cem.ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	body := strings.TrimRight(string(data), "\n")
+	last := body[strings.LastIndexByte(body, '\n')+1:]
+	if want := fmt.Sprintf("# journal-end %d", len(recs)); last != want {
+		return nil, fmt.Errorf("missing or mismatched commit footer (file was torn mid-write)")
+	}
+	return recs, nil
 }

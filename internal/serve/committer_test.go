@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -334,5 +335,202 @@ func TestEmptySnapshot(t *testing.T) {
 	}
 	if got := snap.RenderMatches(); got != "# 0 matches\n" {
 		t.Errorf("empty dump = %q", got)
+	}
+}
+
+// TestCommitterJournalTruncationAtEveryByte: a crash while the trailing
+// journal file was being written can leave ANY byte-length prefix of it
+// on disk. For every such prefix, Recover must quarantine the torn file
+// (rename it .corrupt, count it, log it) and restore exactly the intact
+// batches before it — never error out, never mistake a clean-parsing
+// prefix for a complete batch.
+func TestCommitterJournalTruncationAtEveryByte(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	base, tail := records[:40], records[40:42]
+	ctx := context.Background()
+
+	// Journal both batches once; the template dir's files are the ground
+	// truth every truncation trial copies from.
+	tmpl := t.TempDir()
+	c0, err := NewCommitter(testPipeline(t), WithJournal(tmpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Apply(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Apply(ctx, tail); err != nil {
+		t.Fatal(err)
+	}
+	full := c0.Snapshot()
+
+	basePath := filepath.Join(tmpl, "batch-000001.tsv")
+	lastPath := filepath.Join(tmpl, "batch-000002.tsv")
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastData, err := os.ReadFile(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(lastData), fmt.Sprintf("# journal-end %d\n", len(tail))) {
+		t.Fatalf("journal file missing commit footer:\n%s", lastData)
+	}
+
+	// The state Recover should land on when the trailing file is lost.
+	cBase, err := NewCommitter(testPipeline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSnap, err := cBase.Apply(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRender := baseSnap.RenderMatches()
+
+	// Every cut short of the footer's final newline loses content and
+	// must quarantine. The last two lengths — the intact file, and the
+	// file missing only that terminator byte — still hold every record
+	// plus the full footer count, and must recover both batches instead
+	// (checked after the loop).
+	for cut := 0; cut < len(lastData)-1; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "batch-000001.tsv"), baseData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		torn := filepath.Join(dir, "batch-000002.tsv")
+		if err := os.WriteFile(torn, lastData[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		m := NewMetrics()
+		logged := 0
+		c, err := NewCommitter(testPipeline(t), WithJournal(dir), WithMetrics(m),
+			WithCommitterLog(func(string, ...any) { logged++ }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Recover(ctx, false)
+		if err != nil {
+			t.Fatalf("cut at byte %d/%d: recover failed: %v", cut, len(lastData), err)
+		}
+		if n != 1 {
+			t.Fatalf("cut at byte %d: recovered %d batches, want 1", cut, n)
+		}
+		if _, err := os.Stat(torn + ".corrupt"); err != nil {
+			t.Fatalf("cut at byte %d: torn file not quarantined: %v", cut, err)
+		}
+		if _, err := os.Stat(torn); !os.IsNotExist(err) {
+			t.Fatalf("cut at byte %d: torn file still present", cut)
+		}
+		if got := m.JournalQuarantined.Value(); got != 1 {
+			t.Fatalf("cut at byte %d: JournalQuarantined = %d, want 1", cut, got)
+		}
+		if logged == 0 {
+			t.Fatalf("cut at byte %d: quarantine was not logged", cut)
+		}
+		snap := c.Snapshot()
+		if snap.Seq != 1 || snap.RenderMatches() != wantRender {
+			t.Fatalf("cut at byte %d: recovered state diverges (seq %d)", cut, snap.Seq)
+		}
+	}
+
+	// Re-applying the lost batch after a torn recovery reconverges on
+	// the full state, reusing the quarantined sequence number.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "batch-000001.tsv"), baseData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "batch-000002.tsv"), lastData[:len(lastData)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	c, err := NewCommitter(testPipeline(t), WithJournal(dir), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	relast, err := c.Apply(ctx, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relast.Seq != 2 || relast.RenderMatches() != full.RenderMatches() {
+		t.Errorf("re-applied batch after quarantine diverges from the uninterrupted stream")
+	}
+	if got, _ := filepath.Glob(filepath.Join(dir, "batch-000002.tsv")); len(got) != 1 {
+		t.Error("re-applied batch did not reuse the quarantined sequence number")
+	}
+
+	// The intact file, and the file missing only the footer's trailing
+	// newline, are both content-complete: full recovery, no quarantine.
+	for _, end := range []int{len(lastData), len(lastData) - 1} {
+		intact := t.TempDir()
+		if err := os.WriteFile(filepath.Join(intact, "batch-000001.tsv"), baseData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(intact, "batch-000002.tsv"), lastData[:end], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mi := NewMetrics()
+		ci, err := NewCommitter(testPipeline(t), WithJournal(intact), WithMetrics(mi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ci.Recover(ctx, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 || mi.JournalQuarantined.Value() != 0 {
+			t.Errorf("content-complete journal (%d bytes): recovered %d batches with %d quarantined, want 2/0",
+				end, n, mi.JournalQuarantined.Value())
+		}
+		if got := ci.Snapshot().RenderMatches(); got != full.RenderMatches() {
+			t.Errorf("content-complete journal (%d bytes): recovered state diverges from the original stream", end)
+		}
+	}
+}
+
+// TestCommitterRecoverRefusesMidStreamCorruption: a damaged file that is
+// NOT the trailing one means committed history after it would be lost —
+// Recover must refuse rather than silently drop batches.
+func TestCommitterRecoverRefusesMidStreamCorruption(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	c1, err := NewCommitter(testPipeline(t), WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Apply(ctx, records[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Apply(ctx, records[40:60]); err != nil {
+		t.Fatal(err)
+	}
+
+	first := filepath.Join(dir, "batch-000001.tsv")
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCommitter(testPipeline(t), WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Recover(ctx, false); err == nil {
+		t.Fatal("recover accepted a journal with mid-stream corruption")
+	} else if !strings.Contains(err.Error(), "batch-000001.tsv") {
+		t.Errorf("error does not name the damaged file: %v", err)
+	}
+	if _, serr := os.Stat(first); serr != nil {
+		t.Error("mid-stream damaged file was moved; it must be left for inspection")
 	}
 }

@@ -101,6 +101,15 @@ type Metrics struct {
 	MemoMisses       Counter // verdict-memo misses (computed fresh, no entry)
 	MemoInvals       Counter // verdict-memo invalidations (relevant evidence changed)
 
+	// Distributed-backend resilience, folded in per committed update
+	// (all zero on in-process backends; see core.RunStats).
+	Reassignments Counter // partitions replayed on a live worker after a death/deadline
+	RetriedSends  Counter // transport sends retried after a transient error
+	LateBatches   Counter // stale-epoch ShardBatches dropped (zombie worker answers)
+
+	// Durability.
+	JournalQuarantined Counter // torn trailing journal files renamed .corrupt by Recover
+
 	// Reads.
 	Reads     Counter
 	ReadMiss  Counter // lookups of unknown record keys
@@ -217,6 +226,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeValues) error {
 	counter("emserve_memo_hits_total", "Matcher verdict-memo hits across all committed updates.", m.MemoHits.Value())
 	counter("emserve_memo_misses_total", "Matcher verdict-memo misses (computed fresh, no cached entry).", m.MemoMisses.Value())
 	counter("emserve_memo_invalidations_total", "Matcher verdict-memo invalidations (cached entry's relevant evidence changed).", m.MemoInvals.Value())
+	counter("emserve_reassignments_total", "Partitions replayed on a live worker after a worker death or round-deadline breach.", m.Reassignments.Value())
+	counter("emserve_retried_sends_total", "Transport sends retried after a transient error.", m.RetriedSends.Value())
+	counter("emserve_late_batches_dropped_total", "Stale-epoch shard batches dropped (a zombie worker answered a reassigned partition).", m.LateBatches.Value())
+	counter("emserve_journal_quarantined_total", "Torn trailing journal files quarantined (renamed .corrupt) during recovery.", m.JournalQuarantined.Value())
 	counter("emserve_reads_total", "Read requests served from the committed snapshot.", m.Reads.Value())
 	counter("emserve_read_miss_total", "Read lookups of record keys absent from the committed snapshot.", m.ReadMiss.Value())
 	counter("emserve_bad_inputs_total", "Malformed ingest payloads rejected with a client error.", m.BadInputs.Value())

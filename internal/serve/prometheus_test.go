@@ -243,6 +243,10 @@ func populatedMetrics() *Metrics {
 	m.MemoHits.Add(41)
 	m.MemoMisses.Add(13)
 	m.MemoInvals.Add(5)
+	m.Reassignments.Add(2)
+	m.RetriedSends.Add(7)
+	m.LateBatches.Inc()
+	m.JournalQuarantined.Inc()
 	m.Reads.Add(9)
 	m.ReadMiss.Inc()
 	m.BadInputs.Inc()
@@ -284,6 +288,8 @@ func TestPrometheusExposition(t *testing.T) {
 		"emserve_ingested_records_total", "emserve_updates_total",
 		"emserve_matcher_calls_total", "emserve_memo_hits_total",
 		"emserve_memo_misses_total", "emserve_memo_invalidations_total",
+		"emserve_reassignments_total", "emserve_retried_sends_total",
+		"emserve_late_batches_dropped_total", "emserve_journal_quarantined_total",
 		"emserve_queue_depth", "emserve_ingest_lag_commit_seconds",
 		"emserve_update_seconds", "emserve_shutdown_drain_seconds",
 	} {

@@ -60,6 +60,10 @@ type Config struct {
 	Batching BatcherConfig
 	// MaxBodyBytes bounds one POST body (default 8 MiB).
 	MaxBodyBytes int64
+
+	// Logf, when set, receives recovery events (quarantined journal
+	// files). Nil is silent.
+	Logf func(format string, args ...any)
 }
 
 // Service is the HTTP matching service. Build with New, mount it as an
@@ -131,6 +135,9 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	copts := []CommitterOption{WithMetrics(m)}
 	if cfg.StateDir != "" {
 		copts = append(copts, WithJournal(filepath.Join(cfg.StateDir, "journal")))
+	}
+	if cfg.Logf != nil {
+		copts = append(copts, WithCommitterLog(cfg.Logf))
 	}
 	committer, err := NewCommitter(pipe, copts...)
 	if err != nil {

@@ -75,10 +75,15 @@ type Job struct {
 
 // ShardBatch is one shard's serialized output for one round: the
 // evaluations of every active neighborhood owned by the shard, in the
-// shard's deterministic evaluation order.
+// shard's deterministic evaluation order. Epoch echoes the assignment
+// epoch in the distributed backend, where the coordinator discards
+// batches whose epoch is stale (the partition was reassigned after a
+// deadline breach — a slow "zombie" worker's late batch must not be
+// double-applied); the in-process sharded backend leaves it 0.
 type ShardBatch struct {
 	Round int   `json:"round"`
 	Shard int   `json:"shard"`
+	Epoch int   `json:"epoch,omitempty"`
 	Jobs  []Job `json:"jobs"`
 }
 
@@ -176,7 +181,7 @@ func (d *Delta) validate() error {
 }
 
 func (b *ShardBatch) validate() error {
-	if err := nonNegative("batch.round/shard", int64(b.Round), int64(b.Shard)); err != nil {
+	if err := nonNegative("batch.round/shard", int64(b.Round), int64(b.Shard), int64(b.Epoch)); err != nil {
 		return err
 	}
 	for i := range b.Jobs {
@@ -272,6 +277,7 @@ func (b *ShardBatch) Marshal(f Format) ([]byte, error) {
 	e := newEncoder(typeShardBatch)
 	e.uvarint(uint64(b.Round))
 	e.uvarint(uint64(b.Shard))
+	e.uvarint(uint64(b.Epoch))
 	e.uvarint(uint64(len(b.Jobs)))
 	for i := range b.Jobs {
 		j := &b.Jobs[i]
@@ -373,6 +379,7 @@ func UnmarshalShardBatch(b []byte) (*ShardBatch, error) {
 		}
 		sb.Round = int(dec.uvarint("round"))
 		sb.Shard = int(dec.uvarint("shard"))
+		sb.Epoch = int(dec.uvarint("epoch"))
 		n := dec.count("jobs")
 		sb.Jobs = make([]Job, n)
 		for i := range sb.Jobs {

@@ -48,7 +48,7 @@ func randDelta(rng *rand.Rand) *Delta {
 }
 
 func randBatch(rng *rand.Rand) *ShardBatch {
-	b := &ShardBatch{Round: rng.Intn(100), Shard: rng.Intn(16)}
+	b := &ShardBatch{Round: rng.Intn(100), Shard: rng.Intn(16), Epoch: rng.Intn(5)}
 	for i := 0; i < rng.Intn(8); i++ {
 		b.Jobs = append(b.Jobs, Job{
 			ID:      rng.Int31n(500),
@@ -166,6 +166,13 @@ func normalize(v any) any {
 		for i := range c.Jobs {
 			c.Jobs[i].Matches = normKeys(c.Jobs[i].Matches)
 			c.Jobs[i].Msgs = normGroups(c.Jobs[i].Msgs)
+		}
+		return c
+	case *Assign:
+		c := *m
+		c.Keys = normKeys(c.Keys)
+		if len(c.IDs) == 0 {
+			c.IDs = nil
 		}
 		return c
 	case *Checkpoint:

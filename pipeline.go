@@ -73,6 +73,16 @@ type PipelineStats struct {
 	CacheHits          int64
 	CacheMisses        int64
 	CacheInvalidations int64
+	// Reassignments/RetriedSends/LateBatchesDropped accumulate the
+	// per-run resilience counters (RunStats) across every completed run
+	// — all zero unless the pipeline executes on a supervised
+	// distributed backend (sharded-net). Nonzero values mean the stream
+	// survived worker deaths or transport faults; the output is
+	// unaffected by construction, so these measure degraded throughput,
+	// not degraded answers.
+	Reassignments      int64
+	RetriedSends       int64
+	LateBatchesDropped int64
 }
 
 // pipelineCounters is the internal atomic form of PipelineStats.
@@ -80,13 +90,18 @@ type pipelineCounters struct {
 	runs, updates, coldStarts, warmStarted, forcedReruns atomic.Int64
 	matcherCalls, recordsIngested                        atomic.Int64
 	cacheHits, cacheMisses, cacheInvals                  atomic.Int64
+	reassignments, retriedSends, lateDropped             atomic.Int64
 }
 
-// addCache folds one run's verdict-memo report into the counters.
-func (c *pipelineCounters) addCache(r match.CacheReport) {
-	c.cacheHits.Add(r.Hits)
-	c.cacheMisses.Add(r.Misses)
-	c.cacheInvals.Add(r.Invalidations)
+// addRun folds one completed run's per-run reports (verdict memo,
+// resilience) into the cumulative counters.
+func (c *pipelineCounters) addRun(s *match.RunStats) {
+	c.cacheHits.Add(s.Cache.Hits)
+	c.cacheMisses.Add(s.Cache.Misses)
+	c.cacheInvals.Add(s.Cache.Invalidations)
+	c.reassignments.Add(int64(s.Reassignments))
+	c.retriedSends.Add(int64(s.RetriedSends))
+	c.lateDropped.Add(int64(s.LateBatchesDropped))
 }
 
 // Stats returns a snapshot of the pipeline's cumulative counters. The
@@ -105,6 +120,9 @@ func (p *Pipeline) Stats() PipelineStats {
 		CacheHits:          p.stats.cacheHits.Load(),
 		CacheMisses:        p.stats.cacheMisses.Load(),
 		CacheInvalidations: p.stats.cacheInvals.Load(),
+		Reassignments:      p.stats.reassignments.Load(),
+		RetriedSends:       p.stats.retriedSends.Load(),
+		LateBatchesDropped: p.stats.lateDropped.Load(),
 	}
 }
 
@@ -326,7 +344,7 @@ func (p *Pipeline) run(ctx context.Context, records []Record, resume bool) (*Pip
 	p.stats.runs.Add(1)
 	p.stats.matcherCalls.Add(int64(res.Stats.MatcherCalls))
 	p.stats.recordsIngested.Add(int64(len(records)))
-	p.stats.addCache(res.Stats.Cache)
+	p.stats.addRun(&res.Stats)
 	return out, nil
 }
 
@@ -462,7 +480,7 @@ func (p *Pipeline) Update(ctx context.Context, prior *PipelineResult, newRecords
 	}
 	p.stats.matcherCalls.Add(int64(res.Stats.MatcherCalls))
 	p.stats.recordsIngested.Add(int64(len(newRecords)))
-	p.stats.addCache(res.Stats.Cache)
+	p.stats.addRun(&res.Stats)
 	return out, nil
 }
 

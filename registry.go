@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mln"
+	emnet "repro/internal/net"
 	"repro/internal/rules"
 	"repro/match"
 )
@@ -84,6 +85,23 @@ func NewPoolBackend() match.Backend { return core.PoolBackend{} }
 // state. Output is identical to the pool backend for every k.
 func NewShardedBackend(k int) match.Backend { return &core.ShardedBackend{Shards: k} }
 
+// NewShardedNetBackend returns the distributed multi-process execution
+// backend ("sharded-net"): a coordinator owning the central reduce plus
+// k worker processes speaking the wire codec over framed streams. With
+// no addrs the workers are spawned in-process (every byte still crosses
+// the codec); addrs attach remote cmd/emworker processes instead, one
+// slot per address ("host:port" or "unix:/path.sock"), and k is
+// ignored. The coordinator supervises the fleet — heartbeats, round
+// deadlines, bounded retries with backoff — and reassigns a dead
+// worker's partitions to the survivors, so losing a worker degrades
+// throughput but never the output: the result is identical to the pool
+// backend for every fleet shape and every fault schedule
+// (RunStats.Reassignments and friends record what the supervision
+// absorbed).
+func NewShardedNetBackend(k int, addrs ...string) match.Backend {
+	return &emnet.Backend{Workers: k, Addrs: addrs}
+}
+
 // BackendFactory builds an execution backend. shards is the partition
 // count for partitioned backends (< 1 means one per CPU); backends
 // without partitions ignore it.
@@ -145,6 +163,9 @@ func init() {
 	})
 	RegisterBackend("sharded", func(shards int) (match.Backend, error) {
 		return NewShardedBackend(shards), nil
+	})
+	RegisterBackend("sharded-net", func(shards int) (match.Backend, error) {
+		return NewShardedNetBackend(shards), nil
 	})
 	RegisterMatcher(MatcherMLN, func(mc MatcherContext) (match.Matcher, error) {
 		cands := make([]mln.Candidate, len(mc.Candidates))
