@@ -2,7 +2,7 @@
 
 GO       ?= go
 GOFLAGS  ?=
-PR       ?= 7
+PR       ?= 9
 BENCHOUT ?= BENCH_$(PR).json
 
 # BENCH_LABEL is the label bench-json stores its run under, and the run
@@ -21,6 +21,10 @@ BASELINE_LABEL ?= pr6-baseline
 # verdict-memo hit/miss/maximal paths).
 SCHEME_BENCH   = ^Benchmark(NoMP|SMP|MMP|UB|Full|Blocking|Pipeline|Setup|Grid)
 MATCHER_BENCH  = ^Benchmark(New|MatchWarm|MemoHit|MemoMiss|MemoMaximal)$$
+# The storage-backend RSS benchmark matches the million-reference corpus
+# once per backend in a child process and reports the kernel-measured
+# peak RSS (maxrss-mb). Always 1x: each iteration is a full-corpus run.
+STORE_BENCH    = ^BenchmarkMillionStoreRSS$$
 BENCHTIME     ?= 5x
 # The matcher micro-benchmarks are microsecond-scale; at single-digit
 # iteration counts their numbers are dominated by pool warm-up and
@@ -28,7 +32,7 @@ BENCHTIME     ?= 5x
 # their own, much higher iteration floor.
 MATCHER_BENCHTIME ?= 500x
 
-.PHONY: build test race bench bench-json bench-compare cover cover-check fuzz fmt vet clean service-smoke chaos-smoke
+.PHONY: build test race bench bench-json bench-compare bench-rss cover cover-check fuzz fmt vet clean service-smoke chaos-smoke store-smoke scale-test
 
 build:
 	$(GO) build $(GOFLAGS) ./...
@@ -56,8 +60,9 @@ bench:
 bench-json:
 	@$(GO) test $(GOFLAGS) -run '^$$' -bench '$(SCHEME_BENCH)' -benchmem -benchtime $(BENCHTIME) . > .bench.scheme.tmp \
 	 && $(GO) test $(GOFLAGS) -run '^$$' -bench '$(MATCHER_BENCH)' -benchmem -benchtime $(MATCHER_BENCHTIME) ./internal/mln/ > .bench.mln.tmp \
-	 && cat .bench.scheme.tmp .bench.mln.tmp | $(GO) run $(GOFLAGS) ./cmd/benchjson -o $(BENCHOUT) -label $(BENCH_LABEL); \
-	 status=$$?; rm -f .bench.scheme.tmp .bench.mln.tmp; exit $$status
+	 && $(GO) test $(GOFLAGS) -run '^$$' -bench '$(STORE_BENCH)' -benchtime 1x -timeout 60m ./internal/store/ > .bench.store.tmp \
+	 && cat .bench.scheme.tmp .bench.mln.tmp .bench.store.tmp | $(GO) run $(GOFLAGS) ./cmd/benchjson -o $(BENCHOUT) -label $(BENCH_LABEL); \
+	 status=$$?; rm -f .bench.scheme.tmp .bench.mln.tmp .bench.store.tmp; exit $$status
 
 # bench-compare is the regression gate: fail if $(BENCH_LABEL) regressed
 # against $(BASELINE_LABEL) beyond the thresholds (>25% ns/op on the
@@ -81,11 +86,33 @@ cover-check:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' \
 	  || { echo "FAIL: total coverage $${total}% dropped below the committed floor $${floor}%"; exit 1; }
 
+# bench-rss prints the storage backends' peak-RSS table for the
+# million-reference corpus (also folded into bench-json / BENCH_9.json
+# as the maxrss-mb column).
+bench-rss:
+	$(GO) test $(GOFLAGS) -run '^$$' -bench '$(STORE_BENCH)' -benchtime 1x -timeout 60m -v ./internal/store/
+
+# scale-test runs the gated bounded-RSS acceptance test: the
+# million-reference corpus matched under both storage backends, the
+# disk store asserted under an absolute RSS bound the mem store
+# exceeds. Needs several GB of RAM and a few minutes.
+scale-test:
+	STORE_SCALE_TEST=1 $(GO) test $(GOFLAGS) -run '^TestMillionStoreRSS$$' -count=1 -v -timeout 60m ./internal/store/
+
 # service-smoke drives the emserve binary end to end as a black box:
 # start, POST, GET, SIGTERM, assert a clean checkpoint, restart into the
 # identical state. CI runs it as its own job.
 service-smoke:
 	bash scripts/service-smoke.sh
+
+# store-smoke drives the disk storage backend end to end as a black
+# box: start emserve -store disk, ingest, SIGKILL with no drain,
+# restart, assert the byte-identical state was recovered by reopening
+# the store snapshot with ZERO neighborhood evaluations (the matcher
+# counter stays 0), then keep ingesting incrementally. CI runs it as
+# its own job.
+store-smoke:
+	bash scripts/store-smoke.sh
 
 # chaos-smoke drives the sharded-net backend with real OS processes: a
 # coordinator against 3 emworker processes, one SIGKILLed at its round-2

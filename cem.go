@@ -72,6 +72,9 @@ const (
 	DBLP DatasetKind = "dblp"
 	// DBLPBig is the DBLP regime at grid scale (§6.3).
 	DBLPBig DatasetKind = "dblp-big"
+	// Million is the DBLP regime sized to ~1M references at scale 1.0 —
+	// the larger-than-RAM storage trajectory corpus (see WithStore).
+	Million DatasetKind = "million"
 )
 
 // Scheme selects the execution scheme.
@@ -194,6 +197,8 @@ func datagenConfig(kind DatasetKind, scale float64, seed int64) (datagen.Config,
 		return datagen.DBLPLike(scale, seed), nil
 	case DBLPBig:
 		return datagen.DBLPBigLike(scale, seed), nil
+	case Million:
+		return datagen.MillionLike(scale, seed), nil
 	default:
 		return datagen.Config{}, fmt.Errorf("cem: unknown dataset kind %q", kind)
 	}

@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		writers = fs.Int("writers", 4, "concurrent writers")
 		readers = fs.Int("readers", 4, "concurrent readers")
 		batch   = fs.Int("batch", 32, "records per POST")
-		kind    = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
+		kind    = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big | million")
 		scale   = fs.Float64("scale", 0.25, "generated corpus scale")
 		seed    = fs.Int64("seed", 42, "generation seed")
 		matcher = fs.String("matcher", "mln", "matcher (must match the target server's)")

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	cem "repro"
@@ -52,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		in       = fs.String("in", "", "dataset TSV file (from emgen); empty to generate")
 		records  = fs.String("records", "", "raw records TSV file (from emgen -records); runs the full pipeline")
 		ingest   = fs.String("ingest", "", "comma-separated record TSV files replayed as an incremental stream")
-		kind     = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
+		kind     = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big | million")
 		scale    = fs.Float64("scale", 0.5, "generated corpus scale")
 		seed     = fs.Int64("seed", 42, "generation seed")
 		scheme   = fs.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
@@ -67,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wAddrs   = fs.String("worker-addrs", "", "comma-separated emworker addresses (host:port or unix:/path.sock) for -backend sharded-net; empty spawns in-process workers")
 		ckptDir  = fs.String("checkpoint-dir", "", "persist a checkpoint after every round to this directory")
 		resume   = fs.Bool("resume", false, "continue the run from -checkpoint-dir instead of starting over")
+		stName   = fs.String("store", "", "storage backend for run state: "+strings.Join(cem.Stores(), " | ")+"; evidence is mirrored per round, -records/-ingest also save a reopenable snapshot")
+		stateDir = fs.String("state-dir", "", "root directory of a disk-backed -store (the store lives under <dir>/store)")
 		progress = fs.Bool("progress", false, "print a line per neighborhood evaluation")
 		verbose  = fs.Bool("v", false, "print run statistics")
 		dump     = fs.String("dump-matches", "", "write the final match pairs (sorted, one per line) to this file")
@@ -77,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *stateDir != "" && *stName == "" {
+		return fmt.Errorf("-state-dir requires -store")
 	}
 	if *bShards != 0 && *backend != "sharded" && *backend != "sharded-net" {
 		return fmt.Errorf("-backend-shards requires -backend sharded or sharded-net (got -backend %q)", *backend)
@@ -114,6 +120,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *ckptDir != "" {
 		opts = append(opts, cem.WithCheckpointDir(*ckptDir))
 	}
+	var st match.Store
+	if *stName != "" {
+		var sopts []cem.StoreOption
+		if *stateDir != "" {
+			sopts = append(sopts, cem.WithStoreDir(filepath.Join(*stateDir, "store")))
+		}
+		var err error
+		if st, err = cem.OpenStore(*stName, sopts...); err != nil {
+			return err
+		}
+		defer st.Close()
+		opts = append(opts, cem.WithOpenedStore(st))
+	}
 	if *closure {
 		opts = append(opts, cem.WithTransitiveClosure())
 	}
@@ -127,6 +146,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pcfg := pipelineConfig{
 		scheme: *scheme, matcher: *matcher, shards: *shards, maxNbr: *maxNbr,
 		bcubed: *bcubed, verbose: *verbose, resume: *resume, runnerOpts: opts,
+		store: st,
 	}
 	if *ingest != "" {
 		return runIngest(strings.Split(*ingest, ","), pcfg, stdout)
@@ -212,6 +232,7 @@ type pipelineConfig struct {
 	bcubed, verbose bool
 	resume          bool
 	runnerOpts      []cem.RunnerOption
+	store           match.Store
 }
 
 // newPipeline assembles the pipeline both modes run on.
@@ -281,6 +302,11 @@ func runPipeline(path string, cfg pipelineConfig, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.store != nil {
+		if err := cem.SaveState(cfg.store, res, 1); err != nil {
+			return err
+		}
+	}
 	cfg.report(stdout, "records "+name, res)
 	return nil
 }
@@ -308,7 +334,11 @@ func runIngest(paths []string, cfg pipelineConfig, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if committer, err = serve.NewCommitter(pipe); err != nil {
+			copts := []serve.CommitterOption{}
+			if cfg.store != nil {
+				copts = append(copts, serve.WithStore(cfg.store))
+			}
+			if committer, err = serve.NewCommitter(pipe, copts...); err != nil {
 				return err
 			}
 		}

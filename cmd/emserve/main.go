@@ -2,14 +2,19 @@
 // the incremental pipeline (internal/serve). Records POSTed to /records
 // are coalesced into delta batches and applied through Pipeline.Update;
 // reads (/records/{key}, /cluster/{key}, /matches, /stats) are served
-// from the last committed snapshot while updates run. With -state the
-// service journals every accepted batch and checkpoints every matching
-// round, so SIGTERM (graceful drain) or even a kill restarts into the
-// identical state. /metrics speaks the Prometheus text format.
+// from the last committed snapshot while updates run. With -state-dir
+// the service journals every accepted batch and checkpoints every
+// matching round, so SIGTERM (graceful drain) or even a kill restarts
+// into the identical state. Adding -store disk keeps the accumulated
+// match state in a disk-backed segment store under the state directory:
+// every commit saves a reopenable snapshot, and a restart reopens it
+// with zero matcher work instead of replaying the journal. /metrics
+// speaks the Prometheus text format.
 //
 // Usage:
 //
-//	emserve -addr 127.0.0.1:8080 -state /var/lib/emserve
+//	emserve -addr 127.0.0.1:8080 -state-dir /var/lib/emserve
+//	emserve -state-dir /var/lib/emserve -store disk
 //	emserve -scheme smp -matcher mln -max-batch 512 -max-delay 100ms
 package main
 
@@ -46,7 +51,8 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		state    = fs.String("state", "", "durable state directory (journal + checkpoints); empty = ephemeral")
+		state    = fs.String("state", "", "durable state directory (journal + checkpoints + store); empty = ephemeral")
+		stName   = fs.String("store", "", "storage backend under <state>/store: "+strings.Join(cem.Stores(), " | ")+"; empty = journal/checkpoint recovery only")
 		matcher  = fs.String("matcher", "mln", "matcher: "+strings.Join(cem.Matchers(), " | "))
 		scheme   = fs.String("scheme", "smp", "scheme: nomp | smp | mmp (incremental path required)")
 		shards   = fs.Int("shards", 0, "blocking shards for the cold first batch (0 = one per CPU)")
@@ -58,8 +64,12 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 		queueCap = fs.Int("queue-cap", 64, "queued ingest requests before producers block (backpressure)")
 		drain    = fs.Duration("drain-timeout", time.Minute, "graceful-shutdown bound; an overrunning drain is aborted (the journal recovers it)")
 	)
+	fs.StringVar(state, "state-dir", "", "alias of -state")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stName != "" && *state == "" {
+		return fmt.Errorf("-store %s requires -state-dir", *stName)
 	}
 	switch cem.Scheme(*scheme) {
 	case cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP:
@@ -75,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 		Parallelism:     *parallel,
 		DatasetName:     *dataset,
 		StateDir:        *state,
+		Store:           *stName,
 		Batching: serve.BatcherConfig{
 			MaxBatch: *maxBatch,
 			MaxDelay: *maxDelay,

@@ -63,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 	var (
 		listen  = fs.String("listen", "127.0.0.1:0", "listen address: host:port or unix:/path.sock")
 		in      = fs.String("in", "", "dataset TSV file (from emgen); empty to generate")
-		kind    = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big")
+		kind    = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big | million")
 		scale   = fs.Float64("scale", 0.5, "generated corpus scale")
 		seed    = fs.Int64("seed", 42, "generation seed")
 		scheme  = fs.String("scheme", "smp", "scheme this worker serves: nomp | smp | mmp")

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/store"
 )
 
 // Record is the flat, source-agnostic ingestion unit of the pipeline: one
@@ -46,6 +48,11 @@ func DatasetFromRecords(name string, recs []Record) (*Dataset, error) {
 	}
 	d := &Dataset{Name: name, Refs: make([]Reference, 0, len(recs))}
 	paperOf := map[int32]PaperID{}
+	// Surface strings repeat heavily (the same rendered author name
+	// appears on many references); interning stores each distinct one
+	// once, which is what keeps a large streamed corpus's reference
+	// table from duplicating every repeated name.
+	names := store.NewInterner()
 	for i, r := range recs {
 		if r.Name == "" {
 			return nil, fmt.Errorf("bib: record %d has an empty name", i)
@@ -66,7 +73,7 @@ func DatasetFromRecords(name string, recs []Record) (*Dataset, error) {
 		if gold < 0 {
 			gold = -1
 		}
-		d.Refs = append(d.Refs, Reference{Name: r.Name, Paper: pid, True: gold})
+		d.Refs = append(d.Refs, Reference{Name: names.Intern(r.Name), Paper: pid, True: gold})
 		d.Papers[pid].Refs = append(d.Papers[pid].Refs, rid)
 	}
 	if err := d.Validate(); err != nil {
@@ -108,6 +115,10 @@ func WriteRecords(w io.Writer, name string, recs []Record) error {
 func ReadRecords(r io.Reader) (name string, recs []Record, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Interning collapses repeated surface names to one string each as
+	// the stream parses (and detaches kept names from whole-line backing
+	// arrays).
+	names := store.NewInterner()
 	line := 0
 	for sc.Scan() {
 		line++
@@ -134,7 +145,7 @@ func ReadRecords(r io.Reader) (name string, recs []Record, err error) {
 		if err != nil {
 			return "", nil, fmt.Errorf("bib: line %d: bad gold id: %v", line, err)
 		}
-		recs = append(recs, Record{Name: fields[2], Group: int32(group), Gold: int32(gold)})
+		recs = append(recs, Record{Name: names.Intern(fields[2]), Group: int32(group), Gold: int32(gold)})
 	}
 	if err := sc.Err(); err != nil {
 		return "", nil, fmt.Errorf("bib: reading records: %w", err)

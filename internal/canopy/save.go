@@ -1,0 +1,118 @@
+package canopy
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Index serialization — the "postings blob" of the storage layer.
+//
+// A serving process that keeps its state in a disk store saves the
+// delta index alongside the run snapshot; on restart, LoadIndex
+// restores the full blocking state — postings, gram multisets, cached
+// candidate lists, and the previous cover — so ingestion resumes
+// incrementally without re-scoring the corpus against the q-gram index
+// (the expensive half of blocking). The format is gob over an exported
+// mirror struct, versioned by a leading magic string; it is a cache, so
+// a failed load is recoverable by replaying records through a fresh
+// index.
+
+const indexBlobMagic = "CEMP1\n"
+
+// indexWire mirrors Index with exported fields for gob.
+type indexWire struct {
+	Cfg      Config
+	N        int
+	Grams    []map[string]int
+	Postings map[string][]int32
+	Cands    [][]scoredWire
+	PrevSets map[string]bool
+	Sets     [][]core.EntityID // the last cover's sets; nil before the first Add
+	Entities int               // the last cover's entity universe
+	HasCover bool
+}
+
+type scoredWire struct {
+	ID  core.EntityID
+	Sim float64
+}
+
+// Save serializes the index's full blocking state.
+func (ix *Index) Save() ([]byte, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	w := indexWire{
+		Cfg:      ix.cfg,
+		N:        ix.n,
+		Grams:    ix.grams,
+		Postings: ix.postings,
+		PrevSets: ix.prevSets,
+	}
+	w.Cands = make([][]scoredWire, len(ix.cands))
+	for i, cs := range ix.cands {
+		ws := make([]scoredWire, len(cs))
+		for j, c := range cs {
+			ws[j] = scoredWire{ID: c.id, Sim: c.sim}
+		}
+		w.Cands[i] = ws
+	}
+	if ix.cover != nil {
+		w.HasCover = true
+		w.Sets = ix.cover.Sets
+		w.Entities = ix.cover.NumEntities
+	}
+	var buf bytes.Buffer
+	buf.WriteString(indexBlobMagic)
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("canopy: encoding index: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadIndex restores an index saved with Save. The restored index is
+// fully equivalent to the one that was saved: further Adds produce
+// byte-identical covers and deltas.
+func LoadIndex(data []byte) (*Index, error) {
+	if len(data) < len(indexBlobMagic) || string(data[:len(indexBlobMagic)]) != indexBlobMagic {
+		return nil, fmt.Errorf("canopy: index blob lacks the %q header", indexBlobMagic[:len(indexBlobMagic)-1])
+	}
+	var w indexWire
+	if err := gob.NewDecoder(bytes.NewReader(data[len(indexBlobMagic):])).Decode(&w); err != nil {
+		return nil, fmt.Errorf("canopy: decoding index: %w", err)
+	}
+	ix, err := NewIndex(w.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("canopy: index blob config: %w", err)
+	}
+	if w.N != len(w.Grams) || w.N != len(w.Cands) {
+		return nil, fmt.Errorf("canopy: index blob inconsistent: %d records, %d gram sets, %d candidate lists",
+			w.N, len(w.Grams), len(w.Cands))
+	}
+	ix.n = w.N
+	ix.grams = w.Grams
+	if w.Postings != nil {
+		ix.postings = w.Postings
+	}
+	if w.PrevSets != nil {
+		ix.prevSets = w.PrevSets
+	}
+	ix.cands = make([][]scored, len(w.Cands))
+	for i, ws := range w.Cands {
+		cs := make([]scored, len(ws))
+		for j, c := range ws {
+			cs[j] = scored{id: c.ID, sim: c.Sim}
+		}
+		ix.cands[i] = cs
+	}
+	if w.HasCover {
+		if w.Entities != w.N {
+			return nil, fmt.Errorf("canopy: index blob cover spans %d entities over %d records", w.Entities, w.N)
+		}
+		ix.cover = core.NewCover(w.Entities, w.Sets)
+		ix.prevByID = ix.cover.Sets
+	}
+	return ix, nil
+}

@@ -67,12 +67,22 @@ func newRoundDriver(plan *RoundPlan, ck CheckpointConfig) (*RoundDriver, error) 
 			d.round = st.round
 			d.done = st.done || len(st.active) == 0
 			d.prior = st.stats.Elapsed
+			// The evidence store must reflect the trail's state, not
+			// whatever run the directory held before.
+			if err := resetEvidence(plan.Config.Evidence, d.res.Matches.SortedKeys()); err != nil {
+				return nil, err
+			}
 			return d, nil
 		}
 	} else if d.ckpt != nil {
 		if err := d.ckpt.clear(); err != nil {
 			return nil, err
 		}
+	}
+	// A fresh run owns the store: clear it so the segments accumulate
+	// exactly this run's evidence.
+	if err := resetEvidence(plan.Config.Evidence, nil); err != nil {
+		return nil, err
 	}
 	d.active = allNeighborhoods(plan.Config.Cover.Len())
 	d.done = len(d.active) == 0
@@ -154,10 +164,16 @@ func (d *RoundDriver) FinishRound(jobs []Job) error {
 		d.active = affected
 	}
 
-	if d.ckpt != nil {
-		d.res.Stats.Elapsed = d.prior + time.Since(d.start) // running elapsed, persisted
-		if err := d.ckpt.write(d, d.RoundDelta()); err != nil {
+	if d.ckpt != nil || d.plan.Config.Evidence != nil {
+		delta := d.RoundDelta()
+		if err := putEvidence(d.plan.Config.Evidence, delta); err != nil {
 			return err
+		}
+		if d.ckpt != nil {
+			d.res.Stats.Elapsed = d.prior + time.Since(d.start) // running elapsed, persisted
+			if err := d.ckpt.write(d, delta); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -84,11 +84,19 @@ func (d *RoundDriver) seed(w *WarmStart) error {
 	d.active = slices.Compact(active)
 	d.round = 1
 	d.done = len(d.active) == 0
-	if d.ckpt != nil {
+	if d.ckpt != nil || d.plan.Config.Evidence != nil {
 		delta := slices.Clone(w.Evidence)
 		slices.Sort(delta)
-		if err := d.ckpt.write(d, slices.Compact(delta)); err != nil {
+		delta = slices.Compact(delta)
+		// The store restarts from the seed, mirroring the trail's
+		// round-1 record.
+		if err := resetEvidence(d.plan.Config.Evidence, delta); err != nil {
 			return err
+		}
+		if d.ckpt != nil {
+			if err := d.ckpt.write(d, delta); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

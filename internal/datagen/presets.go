@@ -58,6 +58,17 @@ func DBLPBigLike(scale float64, seed int64) Config {
 	return c
 }
 
+// MillionLike returns the DBLP recipe scaled so Scale = 1.0 yields a
+// corpus of roughly a million entity references (~416K papers at 2–3
+// authors each) — the preset the bounded-RSS storage trajectory matches
+// end to end. Generation stays deterministic in seed and linear in the
+// reference count; only the name pools and community structure scale.
+func MillionLike(scale float64, seed int64) Config {
+	c := DBLPLike(scale*540, seed)
+	c.Name = "million-like"
+	return c
+}
+
 func scaleInt(base int, scale float64) int {
 	v := int(float64(base) * scale)
 	if v < 1 {

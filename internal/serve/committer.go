@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	cem "repro"
+	"repro/match"
 )
 
 // Committer owns the single-writer commit path of the online service:
@@ -28,6 +30,7 @@ import (
 type Committer struct {
 	pipe       *cem.Pipeline
 	journalDir string
+	store      match.Store
 	metrics    *Metrics
 	logf       func(format string, args ...any)
 
@@ -45,6 +48,18 @@ type CommitterOption func(*Committer)
 // a journal the committer is ephemeral (the replay-CLI mode).
 func WithJournal(dir string) CommitterOption {
 	return func(c *Committer) { c.journalDir = dir }
+}
+
+// WithStore persists every committed state into s (cem.SaveState after
+// each successful update, before the state is published), so a restart
+// reopens the store snapshot — Pipeline.Reopen, zero matcher calls —
+// instead of replaying the journal through the engine. The store must be
+// the same one the pipeline's runner carries (cem.WithOpenedStore): the
+// runner mirrors evidence into it round by round, the committer adds the
+// snapshot and postings blobs per commit. The committer does not close
+// the store.
+func WithStore(s match.Store) CommitterOption {
+	return func(c *Committer) { c.store = s }
 }
 
 // WithMetrics wires the commit path into a metrics registry.
@@ -140,6 +155,18 @@ func (c *Committer) apply(ctx context.Context, records []cem.Record) (*Committed
 		return nil, err
 	}
 	state := newCommitted(prior.Seq+1, res)
+	if c.store != nil {
+		// Durable-state-first: the snapshot is written before the state is
+		// published, so a SaveState failure leaves the previous committed
+		// state in place and the batch in the journal — a restart replays
+		// it, nothing is lost and nothing half-published.
+		if err := cem.SaveState(c.store, res, state.Seq); err != nil {
+			if c.metrics != nil {
+				c.metrics.UpdateErrors.Inc()
+			}
+			return nil, fmt.Errorf("serve: saving store state at seq %d: %w", state.Seq, err)
+		}
+	}
 	if c.metrics != nil {
 		m := c.metrics
 		m.CommittedBatches.Inc()
@@ -212,7 +239,11 @@ func (c *Committer) journal(records []cem.Record) (string, error) {
 }
 
 // Recover rebuilds the committed state from the journal: the service's
-// restart path. With tryResume (the pipeline was built with a checkpoint
+// restart path. With a store (WithStore), it first tries the
+// restart-without-replay shortcut — reopen the state snapshot SaveState
+// wrote at the last commit and fold only the batches journaled after it
+// (see reopenFromStore); the paths below run only when the store cannot
+// serve. With tryResume (the pipeline was built with a checkpoint
 // directory), it first attempts Pipeline.Resume over the full journaled
 // stream — a clean shutdown leaves a completed trail, so the matcher is
 // not called at all, and a kill mid-update leaves a partial trail that
@@ -286,6 +317,26 @@ func (c *Committer) Recover(ctx context.Context, tryResume bool) (int, error) {
 		return 0, nil
 	}
 
+	// Store fast path: a committer with a store saved a full state
+	// snapshot at every commit, so the snapshot's sequence number tells
+	// exactly which journal prefix it spans. Reopen restores that state
+	// with ZERO matcher work (no trail replay, no re-matching); only
+	// batches journaled after the snapshot — accepted but killed before
+	// their commit completed — are folded through the engine.
+	if c.store != nil {
+		if n, ok := c.reopenFromStore(ctx, batches); ok {
+			for i, recs := range batches[n:] {
+				if _, err := c.apply(ctx, recs); err != nil {
+					return n + i, fmt.Errorf("serve: recover: replaying batch %d after store reopen: %w", n+i+1, err)
+				}
+			}
+			return len(paths), nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+	}
+
 	if tryResume {
 		if res, err := c.pipe.Resume(ctx, all); err == nil {
 			c.cur.Store(newCommitted(len(paths), res))
@@ -303,6 +354,52 @@ func (c *Committer) Recover(ctx context.Context, tryResume bool) (int, error) {
 		}
 	}
 	return len(paths), nil
+}
+
+// reopenFromStore attempts the restart-without-replay path: read the
+// saved snapshot's commit sequence number, reassemble the exact record
+// stream it was built over (the journal prefix it spans — SaveState
+// runs once per committed batch, so snapshot seq N covers exactly the
+// first N journaled batches), and Pipeline.Reopen the state from the
+// store without invoking the matcher. On success the committed state is
+// installed and (seq, true) returned; any inconsistency — a fresh store
+// with no snapshot yet, a snapshot the journal does not cover, a reopen
+// validation failure — returns (0, false) and sends Recover down the
+// trail-resume/replay path instead: the journal stays the source of
+// truth, the store is only ever a shortcut.
+func (c *Committer) reopenFromStore(ctx context.Context, batches [][]cem.Record) (int, bool) {
+	seq, err := cem.StateSeq(c.store)
+	if err != nil {
+		if !errors.Is(err, match.ErrBlobNotFound) && c.logf != nil {
+			c.logf("recover: store snapshot unreadable, replaying the journal: %v", err)
+		}
+		return 0, false
+	}
+	if seq <= 0 || seq > len(batches) {
+		if c.logf != nil {
+			c.logf("recover: store snapshot at seq %d does not line up with the journal (%d batches), replaying", seq, len(batches))
+		}
+		return 0, false
+	}
+	var records []cem.Record
+	for _, b := range batches[:seq] {
+		records = append(records, b...)
+	}
+	res, gotSeq, err := c.pipe.Reopen(ctx, records, c.store)
+	if err != nil {
+		if c.logf != nil {
+			c.logf("recover: store reopen failed, replaying the journal: %v", err)
+		}
+		return 0, false
+	}
+	c.cur.Store(newCommitted(gotSeq, res))
+	if c.metrics != nil {
+		c.metrics.StoreReopens.Inc()
+	}
+	if c.logf != nil {
+		c.logf("recover: reopened store state at seq %d (%d records, %d matches) with no replay", gotSeq, len(records), res.Matches.Len())
+	}
+	return gotSeq, true
 }
 
 // readJournalFile parses one journal batch file and verifies it is

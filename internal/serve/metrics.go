@@ -109,6 +109,7 @@ type Metrics struct {
 
 	// Durability.
 	JournalQuarantined Counter // torn trailing journal files renamed .corrupt by Recover
+	StoreReopens       Counter // restarts served by reopening the store snapshot (no replay)
 
 	// Reads.
 	Reads     Counter
@@ -230,6 +231,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeValues) error {
 	counter("emserve_retried_sends_total", "Transport sends retried after a transient error.", m.RetriedSends.Value())
 	counter("emserve_late_batches_dropped_total", "Stale-epoch shard batches dropped (a zombie worker answered a reassigned partition).", m.LateBatches.Value())
 	counter("emserve_journal_quarantined_total", "Torn trailing journal files quarantined (renamed .corrupt) during recovery.", m.JournalQuarantined.Value())
+	counter("emserve_store_reopens_total", "Restarts recovered by reopening the store snapshot instead of replaying.", m.StoreReopens.Value())
 	counter("emserve_reads_total", "Read requests served from the committed snapshot.", m.Reads.Value())
 	counter("emserve_read_miss_total", "Read lookups of record keys absent from the committed snapshot.", m.ReadMiss.Value())
 	counter("emserve_bad_inputs_total", "Malformed ingest payloads rejected with a client error.", m.BadInputs.Value())

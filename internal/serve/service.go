@@ -24,9 +24,11 @@ import (
 	"path/filepath"
 	"slices"
 	"strings"
+	"sync"
 	"time"
 
 	cem "repro"
+	"repro/match"
 )
 
 // Config assembles a Service. The zero value serves the default
@@ -52,9 +54,21 @@ type Config struct {
 	// StateDir is the service's durable root: StateDir/journal holds the
 	// record journal (every accepted batch, written before it is
 	// applied), StateDir/checkpoint the matching-round trail
-	// (cem.WithCheckpointDir). Restarting a service on the same StateDir
-	// recovers the identical committed state. Empty = ephemeral.
+	// (cem.WithCheckpointDir), and — with Store set — StateDir/store the
+	// storage backend's segments and blobs. Restarting a service on the
+	// same StateDir recovers the identical committed state. Empty =
+	// ephemeral.
 	StateDir string
+	// Store names a registered storage backend (cem.Stores: "mem",
+	// "disk", ...) opened under StateDir/store and threaded through the
+	// pipeline and the committer: the runner mirrors evidence into it
+	// round by round, every commit saves a full state snapshot, and a
+	// restart REOPENS that snapshot — zero matcher calls, zero trail
+	// replay — instead of folding the journal back through the engine.
+	// "disk" keeps the accumulated match state out of process RSS.
+	// Requires StateDir; empty keeps the journal + checkpoint-trail
+	// recovery path only.
+	Store string
 
 	// Batching bounds the ingest batcher (see BatcherConfig).
 	Batching BatcherConfig
@@ -78,7 +92,22 @@ type Service struct {
 	mux       *http.ServeMux
 	started   time.Time
 
+	store      match.Store // nil unless Config.Store named one
+	storeClose sync.Once
+
 	applyCancel context.CancelFunc
+}
+
+// closeStore closes the service's store exactly once (Shutdown and Kill
+// may both run). Safe on a nil store.
+func (s *Service) closeStore() {
+	s.storeClose.Do(func() {
+		if s.store != nil {
+			if err := s.store.Close(); err != nil && s.cfg.Logf != nil {
+				s.cfg.Logf("closing store: %v", err)
+			}
+		}
+	})
 }
 
 // New builds the pipeline, recovers any journaled state from
@@ -118,6 +147,26 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		ropts = append(ropts, cem.WithCheckpointDir(filepath.Join(cfg.StateDir, "checkpoint")))
 		checkpointing = true
 	}
+	var st match.Store
+	if cfg.Store != "" {
+		if cfg.StateDir == "" {
+			return nil, fmt.Errorf("serve: a store (%q) requires a state directory", cfg.Store)
+		}
+		var err error
+		st, err = cem.OpenStore(cfg.Store,
+			cem.WithStoreDir(filepath.Join(cfg.StateDir, "store")),
+			cem.WithStoreLog(cfg.Logf))
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening store: %w", err)
+		}
+		ropts = append(ropts, cem.WithOpenedStore(st))
+	}
+	failed := func(err error) (*Service, error) {
+		if st != nil {
+			st.Close()
+		}
+		return nil, err
+	}
 	ropts = append(ropts, cfg.RunnerOptions...)
 
 	pipe, err := cem.NewPipeline(
@@ -129,22 +178,25 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		cem.WithRunnerOptions(ropts...),
 	)
 	if err != nil {
-		return nil, err
+		return failed(err)
 	}
 
 	copts := []CommitterOption{WithMetrics(m)}
 	if cfg.StateDir != "" {
 		copts = append(copts, WithJournal(filepath.Join(cfg.StateDir, "journal")))
 	}
+	if st != nil {
+		copts = append(copts, WithStore(st))
+	}
 	if cfg.Logf != nil {
 		copts = append(copts, WithCommitterLog(cfg.Logf))
 	}
 	committer, err := NewCommitter(pipe, copts...)
 	if err != nil {
-		return nil, err
+		return failed(err)
 	}
 	if _, err := committer.Recover(ctx, checkpointing); err != nil {
-		return nil, err
+		return failed(err)
 	}
 
 	applyCtx, cancel := context.WithCancel(ctx)
@@ -154,6 +206,7 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		metrics:     m,
 		committer:   committer,
 		batcher:     NewBatcher(applyCtx, cfg.Batching, committer.Apply, m),
+		store:       st,
 		started:     time.Now(),
 		applyCancel: cancel,
 	}
@@ -190,10 +243,12 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.metrics.ShutdownDrainSec.Observe(time.Since(start).Seconds())
+		s.closeStore()
 		return nil
 	case <-ctx.Done():
 		s.applyCancel() // abort the in-flight update; the journal has it
 		<-done
+		s.closeStore()
 		return fmt.Errorf("serve: shutdown drain aborted: %w", ctx.Err())
 	}
 }
@@ -205,6 +260,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 func (s *Service) Kill() {
 	s.applyCancel()
 	s.batcher.Close()
+	s.closeStore()
 }
 
 // ServeHTTP implements http.Handler.

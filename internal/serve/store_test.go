@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	cem "repro"
+	"repro/match"
+)
+
+// TestServiceStoreShutdownReopen pins the restart-without-replay
+// contract at the service level: a service on a disk store shuts down
+// gracefully, and the restart reopens the store snapshot — the matcher
+// is not called, not a single neighborhood is evaluated, and the
+// committed state is byte-identical. This is strictly stronger than the
+// checkpoint-trail restart (TestServiceShutdownRestart), which replays
+// the trail even though it skips the matcher.
+func TestServiceStoreShutdownReopen(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	state := t.TempDir()
+
+	svc, err := New(context.Background(), Config{StateDir: state, Store: "disk", Batching: fastBatching})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batchCuts(records) {
+		ingestWait(t, svc, b)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := svc.Snapshot()
+
+	var evals atomic.Int64
+	svc2, err := New(context.Background(), Config{
+		StateDir: state, Store: "disk", Batching: fastBatching,
+		RunnerOptions: []cem.RunnerOption{cem.WithProgress(func(match.ProgressEvent) { evals.Add(1) })},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Kill()
+	got := svc2.Snapshot()
+	if got.Seq != want.Seq || got.RenderMatches() != want.RenderMatches() {
+		t.Fatalf("store restart diverges: seq %d vs %d, %d vs %d matches",
+			got.Seq, want.Seq, got.Matches(), want.Matches())
+	}
+	if n := evals.Load(); n != 0 {
+		t.Errorf("store restart evaluated %d neighborhoods, want 0 (reopen, not replay)", n)
+	}
+	if calls := svc2.pipe.Stats().MatcherCalls; calls != 0 {
+		t.Errorf("store restart made %d matcher calls, want 0", calls)
+	}
+	if n := svc2.metrics.StoreReopens.Value(); n != 1 {
+		t.Errorf("emserve_store_reopens_total = %d, want 1", n)
+	}
+	var m strings.Builder
+	if err := svc2.metrics.WritePrometheus(&m, GaugeValues{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{"emserve_store_reopens_total 1", "emserve_matcher_calls_total 0"} {
+		if !strings.Contains(m.String(), line+"\n") {
+			t.Errorf("/metrics after store restart is missing %q", line)
+		}
+	}
+
+	// The stream continues incrementally on the reopened state and stays
+	// equal to an uninterrupted cold run over the same arrival order.
+	extra, err := cem.GenerateRecords(cem.DBLP, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ingestWait(t, svc2, extra)
+	if last.Seq != want.Seq+1 {
+		t.Errorf("post-restart batch at seq %d, want %d", last.Seq, want.Seq+1)
+	}
+	cold, err := testPipeline(t).Run(context.Background(), append(append([]cem.Record{}, records...), extra...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.RenderMatches() != renderPipelineMatches(cold) {
+		t.Error("reopened + continued stream diverges from the cold run")
+	}
+}
+
+// TestServiceStoreKillRestart: killed mid-update on a disk store, the
+// restart reopens the snapshot of the last COMMITTED batch and folds
+// only the interrupted batch through the engine — nothing lost, nothing
+// duplicated, final state equal to the uninterrupted run.
+func TestServiceStoreKillRestart(t *testing.T) {
+	records := testRecords(t, cem.HEPTH)
+	state := t.TempDir()
+	batches := batchCuts(records)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var armed atomic.Bool
+	var once sync.Once
+	svc, err := New(ctx, Config{
+		StateDir: state, Store: "disk", Batching: fastBatching,
+		RunnerOptions: []cem.RunnerOption{cem.WithProgress(func(e match.ProgressEvent) {
+			if armed.Load() && e.Round >= 2 {
+				once.Do(cancel)
+			}
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWait(t, svc, batches[0])
+
+	armed.Store(true)
+	done, err := svc.Ingest(context.Background(), batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.Err == nil {
+			t.Fatal("kill mid-batch did not abort the update (batch committed)")
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("killed batch never resolved")
+	}
+	svc.Kill()
+
+	svc2, err := New(context.Background(), Config{StateDir: state, Store: "disk", Batching: fastBatching})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Kill()
+	got := svc2.Snapshot()
+	if got.Seq != 2 {
+		t.Fatalf("restart recovered to seq %d, want 2 (interrupted batch finished)", got.Seq)
+	}
+	if n := svc2.metrics.StoreReopens.Value(); n != 1 {
+		t.Errorf("emserve_store_reopens_total = %d, want 1 (seq-1 snapshot reopened before the fold)", n)
+	}
+	cold, err := testPipeline(t).Run(context.Background(), records[:len(batches[0])+len(batches[1])])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RenderMatches() != renderPipelineMatches(cold) {
+		t.Error("store kill + restart diverges from the uninterrupted run")
+	}
+}
+
+// TestServiceStoreConfigValidation pins the config failure modes: a
+// store without a state directory, and an unregistered backend name.
+func TestServiceStoreConfigValidation(t *testing.T) {
+	if _, err := New(context.Background(), Config{Store: "disk"}); err == nil {
+		t.Fatal("New accepted a store without a state directory")
+	}
+	if _, err := New(context.Background(), Config{StateDir: t.TempDir(), Store: "bogus"}); err == nil {
+		t.Fatal("New accepted an unregistered store name")
+	}
+}

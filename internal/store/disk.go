@@ -1,0 +1,565 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+func init() {
+	Register("disk", func(o Options) (Store, error) { return OpenDisk(o) })
+}
+
+// Disk is the log-structured on-disk store: evidence lives in
+// append-only segment files (ev-NNNNNNNN.seg, see segment.go) under the
+// root directory, blobs under blob/<kind>/<name>. Every commit is a
+// whole-file tmp + fsync + rename, so a crash can never leave a torn
+// file under a committed name; a crash DURING a commit leaves only a
+// *.tmp orphan (removed at open) or — on filesystems that reorder data
+// and rename — a torn trailing segment, which open quarantines by
+// renaming it *.corrupt, exactly like the service journal's trailing
+// batch (damage anywhere but the tail is a hard error: evidence after
+// it would be silently lost).
+//
+// Reads never materialize the evidence set: each segment keeps only a
+// sparse in-memory index (one 32-byte entry per block of ≤ BlockKeys
+// keys), point and range lookups decode single blocks on demand through
+// a small cache, and iteration streams a k-way merge across segments.
+// Once more than CompactEvery segments accumulate, a put compacts them
+// into one merged, deduplicated segment.
+type Disk struct {
+	dir          string
+	blockKeys    int
+	compactEvery int
+	logf         func(format string, args ...any)
+
+	mu      sync.RWMutex
+	segs    []*diskSegment
+	nextSeq int
+	cache   *blockCache
+	closed  bool
+}
+
+// diskSegment is one open segment: its path and sparse block index.
+type diskSegment struct {
+	path   string
+	seq    int
+	blocks []segBlock
+}
+
+func segFile(seq int) string { return fmt.Sprintf("ev-%08d.seg", seq) }
+
+const segPattern = "ev-*.seg"
+
+// OpenDisk opens (creating if needed) a disk store rooted at o.Dir.
+func OpenDisk(o Options) (*Disk, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("store: the disk store needs a directory (WithDir)")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: disk dir: %w", err)
+	}
+	d := &Disk{
+		dir:          o.Dir,
+		blockKeys:    o.BlockKeys,
+		compactEvery: o.CompactEvery,
+		logf:         o.Logf,
+		cache:        newBlockCache(16),
+	}
+	if d.blockKeys <= 0 {
+		d.blockKeys = defaultBlockKeys
+	}
+	if d.compactEvery <= 0 {
+		d.compactEvery = defaultCompactEvery
+	}
+	if err := d.open(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// open scans the directory: orphaned temp files from a crashed commit
+// are removed, every segment is fully verified (the whole file decodes
+// and re-encodes canonically), and a damaged TRAILING segment is
+// quarantined as *.corrupt — the tail is the only place a torn write
+// can land, and nothing after it exists to lose. Damage anywhere else
+// is a hard error.
+func (d *Disk) open() error {
+	tmps, err := filepath.Glob(filepath.Join(d.dir, "*.tmp"))
+	if err != nil {
+		return err
+	}
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	paths, err := filepath.Glob(filepath.Join(d.dir, segPattern))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for i, p := range paths {
+		seg, serr := openSegment(p)
+		if serr != nil {
+			if i != len(paths)-1 {
+				return fmt.Errorf("store: segment %s: %w (not the trailing segment; refusing to drop the evidence after it)",
+					filepath.Base(p), serr)
+			}
+			q := p + ".corrupt"
+			if qerr := os.Rename(p, q); qerr != nil {
+				return fmt.Errorf("store: quarantining %s: %v (decode error: %w)", p, qerr, serr)
+			}
+			if d.logf != nil {
+				d.logf("store: quarantined torn trailing segment %s -> %s: %v", p, q, serr)
+			}
+			break
+		}
+		d.segs = append(d.segs, seg)
+		if seg.seq >= d.nextSeq {
+			d.nextSeq = seg.seq + 1
+		}
+	}
+	return nil
+}
+
+// openSegment reads and fully verifies one segment file, returning its
+// sparse index.
+func openSegment(path string) (*diskSegment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seg := &diskSegment{path: path}
+	base := filepath.Base(path)
+	if _, err := fmt.Sscanf(base, "ev-%08d.seg", &seg.seq); err != nil {
+		return nil, fmt.Errorf("store: segment name %q does not carry a sequence number", base)
+	}
+	err = walkSegment(data, func(meta segBlock, _ []uint64) error {
+		seg.blocks = append(seg.blocks, meta)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return seg, nil
+}
+
+// Name implements Store.
+func (d *Disk) Name() string { return "disk" }
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Segments returns the current segment-file count (diagnostics and
+// compaction tests).
+func (d *Disk) Segments() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.segs)
+}
+
+// PutEvidence implements Store: the batch becomes one new segment file,
+// committed atomically; crossing the compaction threshold merges every
+// segment into one.
+func (d *Disk) PutEvidence(keys []uint64) error {
+	if err := checkBatch(keys); err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: disk store is closed")
+	}
+	if err := d.writeSegment(keys); err != nil {
+		return err
+	}
+	if len(d.segs) > d.compactEvery {
+		return d.compact()
+	}
+	return nil
+}
+
+// writeSegment encodes keys as the next segment and commits it. Caller
+// holds mu.
+func (d *Disk) writeSegment(keys []uint64) error {
+	data, err := encodeSegment(splitBlocks(keys, d.blockKeys))
+	if err != nil {
+		return err
+	}
+	seq := d.nextSeq
+	path := filepath.Join(d.dir, segFile(seq))
+	if err := commitFile(path, data); err != nil {
+		return err
+	}
+	seg := &diskSegment{path: path, seq: seq}
+	walkErr := walkSegment(data, func(meta segBlock, _ []uint64) error {
+		seg.blocks = append(seg.blocks, meta)
+		return nil
+	})
+	if walkErr != nil {
+		return fmt.Errorf("store: re-reading just-written segment: %w", walkErr)
+	}
+	d.nextSeq++
+	d.segs = append(d.segs, seg)
+	return nil
+}
+
+// compact merges every segment into one deduplicated segment and
+// removes the inputs. Crash safety needs no journal: the merged segment
+// commits under a NEW sequence number before any input is removed, and
+// evidence has set semantics, so a crash at any point leaves a
+// directory whose union is unchanged. Caller holds mu.
+func (d *Disk) compact() error {
+	var merged []uint64
+	if err := d.rangeLocked(0, ^uint64(0), func(k uint64) bool {
+		merged = append(merged, k)
+		return true
+	}); err != nil {
+		return err
+	}
+	old := d.segs
+	if err := d.writeSegment(merged); err != nil {
+		return err
+	}
+	d.segs = d.segs[len(old):]
+	for _, seg := range old {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("store: removing compacted segment: %w", err)
+		}
+	}
+	d.cache.clear()
+	return nil
+}
+
+// blockKeysAt loads one block's keys, via the cache.
+func (d *Disk) blockKeysAt(seg *diskSegment, bi int) ([]uint64, error) {
+	meta := seg.blocks[bi]
+	if keys, ok := d.cache.get(seg.path, meta.off); ok {
+		return keys, nil
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload := make([]byte, meta.plen)
+	if _, err := f.ReadAt(payload, int64(meta.off)); err != nil {
+		return nil, fmt.Errorf("store: reading block of %s: %w", filepath.Base(seg.path), err)
+	}
+	var prevMax uint64
+	if bi > 0 {
+		prevMax = seg.blocks[bi-1].max
+	}
+	keys, err := decodeBlock(payload, bi, meta, prevMax)
+	if err != nil {
+		return nil, err
+	}
+	d.cache.put(seg.path, meta.off, keys)
+	return keys, nil
+}
+
+// HasEvidence implements Store.
+func (d *Disk) HasEvidence(key uint64) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i := len(d.segs) - 1; i >= 0; i-- {
+		seg := d.segs[i]
+		bi := sort.Search(len(seg.blocks), func(j int) bool { return seg.blocks[j].max >= key })
+		if bi == len(seg.blocks) || seg.blocks[bi].min > key {
+			continue
+		}
+		keys, err := d.blockKeysAt(seg, bi)
+		if err != nil {
+			return false, err
+		}
+		ki := sort.Search(len(keys), func(j int) bool { return keys[j] >= key })
+		if ki < len(keys) && keys[ki] == key {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// segCursor streams one segment's keys within [lo, hi).
+type segCursor struct {
+	d    *Disk
+	seg  *diskSegment
+	hi   uint64
+	bi   int
+	keys []uint64
+	ki   int
+	cur  uint64
+	done bool
+}
+
+func (c *segCursor) advance() error {
+	for {
+		if c.keys != nil && c.ki < len(c.keys) {
+			k := c.keys[c.ki]
+			c.ki++
+			if k >= c.hi {
+				c.done = true
+				return nil
+			}
+			c.cur = k
+			return nil
+		}
+		if c.bi >= len(c.seg.blocks) {
+			c.done = true
+			return nil
+		}
+		keys, err := c.d.blockKeysAt(c.seg, c.bi)
+		if err != nil {
+			return err
+		}
+		c.bi++
+		c.keys, c.ki = keys, 0
+	}
+}
+
+// newSegCursor positions a cursor at the first key >= lo.
+func (d *Disk) newSegCursor(seg *diskSegment, lo, hi uint64) (*segCursor, error) {
+	c := &segCursor{d: d, seg: seg, hi: hi}
+	c.bi = sort.Search(len(seg.blocks), func(j int) bool { return seg.blocks[j].max >= lo })
+	if c.bi == len(seg.blocks) {
+		c.done = true
+		return c, nil
+	}
+	keys, err := d.blockKeysAt(seg, c.bi)
+	if err != nil {
+		return nil, err
+	}
+	c.bi++
+	c.keys = keys
+	c.ki = sort.Search(len(keys), func(j int) bool { return keys[j] >= lo })
+	if err := c.advance(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// EvidenceRange implements Store: an ascending, deduplicated k-way
+// merge across the (typically few, post-compaction one) segments.
+func (d *Disk) EvidenceRange(lo, hi uint64, yield func(uint64) bool) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rangeLocked(lo, hi, yield)
+}
+
+func (d *Disk) rangeLocked(lo, hi uint64, yield func(uint64) bool) error {
+	cursors := make([]*segCursor, 0, len(d.segs))
+	for _, seg := range d.segs {
+		c, err := d.newSegCursor(seg, lo, hi)
+		if err != nil {
+			return err
+		}
+		if !c.done {
+			cursors = append(cursors, c)
+		}
+	}
+	for {
+		var best *segCursor
+		for _, c := range cursors {
+			if c.done {
+				continue
+			}
+			if best == nil || c.cur < best.cur {
+				best = c
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		k := best.cur
+		for _, c := range cursors {
+			for !c.done && c.cur == k {
+				if err := c.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if !yield(k) {
+			return nil
+		}
+	}
+}
+
+// EvidenceLen implements Store (an exact, merged distinct count).
+func (d *Disk) EvidenceLen() (int, error) {
+	n := 0
+	err := d.EvidenceRange(0, ^uint64(0), func(uint64) bool { n++; return true })
+	return n, err
+}
+
+// ClearEvidence implements Store.
+func (d *Disk) ClearEvidence() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, seg := range d.segs {
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("store: clearing evidence: %w", err)
+		}
+	}
+	d.segs = nil
+	d.cache.clear()
+	return nil
+}
+
+// blobPath maps a blob to its file, validating both path components.
+func (d *Disk) blobPath(kind, name string) (string, error) {
+	if err := checkBlobName(kind); err != nil {
+		return "", err
+	}
+	if err := checkBlobName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(d.dir, "blob", kind, name), nil
+}
+
+// SaveBlob implements Store (tmp + fsync + rename, like everything
+// else here).
+func (d *Disk) SaveBlob(kind, name string, data []byte) error {
+	path, err := d.blobPath(kind, name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: blob dir: %w", err)
+	}
+	return commitFile(path, data)
+}
+
+// OpenBlob implements Store.
+func (d *Disk) OpenBlob(kind, name string) ([]byte, error) {
+	path, err := d.blobPath(kind, name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: blob %s/%s: %w", kind, name, ErrNotFound)
+	}
+	return data, err
+}
+
+// ListBlobs implements Store.
+func (d *Disk) ListBlobs(kind string) ([]string, error) {
+	if err := checkBlobName(kind); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(d.dir, "blob", kind))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".tmp") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Flush implements Store. Commits are already synchronous (fsync before
+// rename), so there is nothing buffered to push.
+func (d *Disk) Flush() error { return nil }
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.cache.clear()
+	return nil
+}
+
+// commitFile durably replaces path with data: write a sibling temp
+// file, fsync it, rename over path, fsync the directory — the idiom the
+// checkpoint trail and the service journal already use, so a kill at
+// any instant leaves either the old file or the new one, never a tear.
+func commitFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: committing %s: %w", filepath.Base(path), err)
+	}
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// blockCache is a tiny FIFO cache of decoded blocks, keyed by
+// (segment path, payload offset). Point lookups on a hot range keep
+// re-decoding the same block otherwise.
+type blockCache struct {
+	mu    sync.Mutex
+	cap   int
+	order []blockKey
+	m     map[blockKey][]uint64
+}
+
+type blockKey struct {
+	path string
+	off  int
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{cap: capacity, m: map[blockKey][]uint64{}}
+}
+
+func (c *blockCache) get(path string, off int) ([]uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys, ok := c.m[blockKey{path, off}]
+	return keys, ok
+}
+
+func (c *blockCache) put(path string, off int, keys []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := blockKey{path, off}
+	if _, dup := c.m[k]; dup {
+		return
+	}
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+	c.order = append(c.order, k)
+	c.m[k] = keys
+}
+
+func (c *blockCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order = nil
+	c.m = map[blockKey][]uint64{}
+}

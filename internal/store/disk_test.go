@@ -1,0 +1,279 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeDiskFixture builds a disk store with a few segments and returns
+// the directory, the segment paths (ascending), and the expected keys.
+func writeDiskFixture(t *testing.T, batches int) (string, []string, []uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := OpenDisk(Options{Dir: dir, BlockKeys: 16, CompactEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < batches; i++ {
+		if err := d.PutEvidence(sortedKeys(rng, 30+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := Keys(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != batches {
+		t.Fatalf("fixture wrote %d segments, want %d", len(paths), batches)
+	}
+	return dir, paths, want
+}
+
+// TestDiskTrailingTruncationQuarantine corrupts the TRAILING segment at
+// every possible truncation point and at every single byte, and asserts
+// the store always reopens with that segment quarantined and every
+// earlier segment intact — the same recovery contract the service
+// journal gives its trailing batch.
+func TestDiskTrailingTruncationQuarantine(t *testing.T) {
+	dir, paths, _ := writeDiskFixture(t, 3)
+	last := paths[len(paths)-1]
+	pristine, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected survivors: keys of all but the last segment.
+	var survivors []uint64
+	{
+		if err := os.Remove(last); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenDisk(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if survivors, err = Keys(d); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+	}
+
+	reopenAndCheck := func(t *testing.T, mutated []byte) {
+		t.Helper()
+		if err := os.WriteFile(last, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var logged []string
+		d, err := OpenDisk(Options{Dir: dir, Logf: func(f string, a ...any) {
+			logged = append(logged, f)
+		}})
+		if err != nil {
+			t.Fatalf("reopen with damaged trailing segment failed: %v", err)
+		}
+		got, err := Keys(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		if !reflect.DeepEqual(got, survivors) {
+			t.Fatalf("damaged trailing segment: got %d keys, want %d survivors", len(got), len(survivors))
+		}
+		if len(logged) == 0 {
+			t.Fatal("quarantine was not logged")
+		}
+		q, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+		if err != nil || len(q) != 1 {
+			t.Fatalf("quarantine glob = %v, %v; want exactly one", q, err)
+		}
+		if err := os.Remove(q[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("every-truncation", func(t *testing.T) {
+		for n := 0; n < len(pristine); n++ {
+			reopenAndCheck(t, pristine[:n])
+			if t.Failed() {
+				t.Fatalf("first failing truncation length: %d of %d", n, len(pristine))
+			}
+		}
+	})
+	t.Run("every-byte-flip", func(t *testing.T) {
+		for i := range pristine {
+			mutated := append([]byte(nil), pristine...)
+			mutated[i] ^= 0xff
+			if err := os.WriteFile(last, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			d, err := OpenDisk(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("byte %d: reopen failed hard: %v", i, err)
+			}
+			got, gerr := Keys(d)
+			d.Close()
+			if gerr != nil {
+				t.Fatalf("byte %d: Keys: %v", i, gerr)
+			}
+			// A flip either leaves a still-valid segment (then the full
+			// set must round-trip — happens only if the flip is caught
+			// by canonicality, which rejects everything, so really:
+			// quarantined) or the segment is quarantined and survivors
+			// remain. Either way earlier segments are intact.
+			for _, k := range survivors {
+				found := false
+				for _, g := range got {
+					if g == k {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("byte %d: survivor key %#x lost", i, k)
+				}
+			}
+			if q, _ := filepath.Glob(filepath.Join(dir, "*.corrupt")); len(q) > 0 {
+				for _, p := range q {
+					os.Remove(p)
+				}
+			} else if !reflect.DeepEqual(got, survivorsPlus(survivors, pristine, t)) {
+				t.Fatalf("byte %d: flip went undetected but keys changed", i)
+			}
+		}
+	})
+}
+
+// survivorsPlus returns survivors ∪ the pristine segment's keys — what a
+// reopen must see when the trailing segment is intact.
+func survivorsPlus(survivors []uint64, pristine []byte, t *testing.T) []uint64 {
+	t.Helper()
+	blocks, err := parseSegment(pristine)
+	if err != nil {
+		t.Fatalf("pristine segment does not parse: %v", err)
+	}
+	set := map[uint64]struct{}{}
+	for _, k := range survivors {
+		set[k] = struct{}{}
+	}
+	for _, b := range blocks {
+		for _, k := range b {
+			set[k] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortU64(out)
+	return out
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// TestDiskNonTrailingDamageIsFatal pins that damage to any segment
+// OTHER than the trailing one refuses to open: quarantining it would
+// silently drop evidence that later segments build on.
+func TestDiskNonTrailingDamageIsFatal(t *testing.T) {
+	dir, paths, _ := writeDiskFixture(t, 3)
+	first := paths[0]
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(Options{Dir: dir}); err == nil {
+		t.Fatal("store opened despite a damaged non-trailing segment")
+	} else if !strings.Contains(err.Error(), "not the trailing segment") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestDiskOrphanTmpRemoved pins that a crash between tmp-write and
+// rename (an orphaned *.tmp) is cleaned up at open and never treated as
+// state.
+func TestDiskOrphanTmpRemoved(t *testing.T) {
+	dir, _, want := writeDiskFixture(t, 2)
+	orphan := filepath.Join(dir, segFile(99)+".tmp")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := Keys(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("orphan tmp changed the evidence set")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan tmp not removed: %v", err)
+	}
+}
+
+// TestDiskBlobAtomicReplace pins blob replacement goes through a temp
+// file (no *.tmp left behind, content fully replaced).
+func TestDiskBlobAtomicReplace(t *testing.T) {
+	d, err := OpenDisk(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	big := make([]byte, 1<<16)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := d.SaveBlob(KindSnapshot, "latest", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveBlob(KindSnapshot, "latest", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.OpenBlob(KindSnapshot, "latest")
+	if err != nil || string(got) != "tiny" {
+		t.Fatalf("OpenBlob = %d bytes, %v", len(got), err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(d.Dir(), "blob", KindSnapshot, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+	if names, err := d.ListBlobs(KindSnapshot); err != nil || len(names) != 1 {
+		t.Fatalf("ListBlobs = %v, %v", names, err)
+	}
+}
+
+// TestDiskClosedRejectsWrites pins that a closed store refuses new
+// evidence.
+func TestDiskClosedRejectsWrites(t *testing.T) {
+	d, err := OpenDisk(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutEvidence([]uint64{pk(1, 2)}); err == nil {
+		t.Fatal("PutEvidence succeeded on a closed store")
+	}
+}

@@ -1,0 +1,44 @@
+package store
+
+import "sync"
+
+// Interner deduplicates strings: equal strings share one backing
+// allocation. The million-record presets repeat author names, venue
+// fragments, and q-grams heavily; interning record fields keeps the
+// resident set proportional to the vocabulary instead of the corpus.
+// Safe for concurrent use.
+type Interner struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: map[string]string{}}
+}
+
+// Intern returns a canonical copy of s: the first caller's string is
+// kept, every later equal string returns the same backing data. The
+// empty string is returned as-is.
+func (in *Interner) Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	// Clone so the canonical copy never pins a larger buffer the
+	// argument was sliced from.
+	c := string(append([]byte(nil), s...))
+	in.m[c] = c
+	return c
+}
+
+// Len returns the number of distinct strings interned.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.m)
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestInternerDeduplicates(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("smith j")
+	b := in.Intern("smith" + " j") // distinct backing allocation
+	if a != b {
+		t.Fatalf("interned values differ: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatal("equal strings do not share backing data after interning")
+	}
+	if in.Intern("") != "" {
+		t.Fatal("empty string must pass through")
+	}
+	if got := in.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestInternerDetachesFromLargeBuffer(t *testing.T) {
+	in := NewInterner()
+	buf := make([]byte, 1<<20)
+	copy(buf, "needle")
+	s := string(buf[:6]) // string conversion already copies, but keep the shape honest
+	c := in.Intern(s)
+	if c != "needle" {
+		t.Fatalf("Intern returned %q", c)
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	var wg sync.WaitGroup
+	const names = 50
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				in.Intern(fmt.Sprintf("name-%d", i%names))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := in.Len(); got != names {
+		t.Fatalf("Len = %d, want %d", got, names)
+	}
+}

@@ -42,6 +42,8 @@ type Runner struct {
 	closure     bool
 	backend     match.Backend
 	ckptDir     string
+	store       match.Store  // WithOpenedStore
+	storeh      *storeHandle // WithStore (lazily opened, shared across runs)
 }
 
 // RunnerOption customizes a Runner.
@@ -114,6 +116,13 @@ func WithShardCount(k int) RunnerOption {
 // forces the round-based executor even at parallelism 1 (the serial
 // queue schedulers have no round boundaries to checkpoint). FULL and UB
 // runs ignore the option.
+//
+// The trail is the MID-RUN durability mechanism: it replays rounds to
+// recover a killed run. It is not the only persistence the engine has —
+// completed state lives in a Store (see WithStore): a disk store holds
+// the accumulated evidence in segment files and reopens on restart with
+// no replay at all. The two compose; a long-lived service typically
+// wants both (trail for mid-run kills, store for completed state).
 func WithCheckpointDir(dir string) RunnerOption {
 	return func(r *Runner) { r.ckptDir = dir }
 }
@@ -196,12 +205,16 @@ func (r *Runner) Resume(ctx context.Context, s Scheme) (*Result, error) {
 
 func (r *Runner) run(ctx context.Context, s Scheme, resume bool) (*Result, error) {
 	cfg := r.coreConfig()
-	var (
-		raw *core.Result
-		err error
-	)
+	st, err := r.evidenceStore()
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		cfg.Evidence = st
+	}
+	var raw *core.Result
 	switch {
-	case coreScheme(s) != "" && (r.backend != nil || r.ckptDir != ""):
+	case coreScheme(s) != "" && (r.backend != nil || r.ckptDir != "" || st != nil):
 		b := r.backend
 		if b == nil {
 			b = core.PoolBackend{}
@@ -284,8 +297,16 @@ func (r *Runner) RunFrom(ctx context.Context, s Scheme, snap *Snapshot, activeSe
 	if b == nil {
 		b = core.PoolBackend{}
 	}
+	cfg := r.coreConfig()
+	st, err := r.evidenceStore()
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		cfg.Evidence = st
+	}
 	warm := &core.WarmStart{Evidence: snap.Evidence, Messages: snap.Messages, Active: activeSeed}
-	raw, err := core.RunBackendFrom(ctx, r.coreConfig(), cs, b,
+	raw, err := core.RunBackendFrom(ctx, cfg, cs, b,
 		core.CheckpointConfig{Dir: r.ckptDir, Matcher: r.name}, warm)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,177 @@
+package cem_test
+
+// Differential harness for the storage backends: a runner wired to the
+// "mem" store and one wired to the "disk" store must land on the exact
+// golden fixtures — all of them, including FULL and UB where the store
+// is attached but idle — and the two stores must end holding the
+// byte-identical evidence stream. The same equivalence is pinned on the
+// sharded executor and on the incremental ingestion path, so no
+// execution mode can drift between backends.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	cem "repro"
+	"repro/match"
+)
+
+// storeVariant pairs a backend name with a runner option opening it.
+type storeVariant struct {
+	name string
+	opt  cem.RunnerOption
+}
+
+func storeVariants(t *testing.T) []storeVariant {
+	t.Helper()
+	return []storeVariant{
+		{"mem", cem.WithStore("mem")},
+		{"disk", cem.WithStore("disk", cem.WithStoreDir(t.TempDir()))},
+	}
+}
+
+// evidenceKeys drains a store's full evidence stream in key order.
+func evidenceKeys(t *testing.T, s match.Store) []uint64 {
+	t.Helper()
+	var keys []uint64
+	if err := s.EvidenceRange(0, ^uint64(0), func(k uint64) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+// TestGoldenStoreBackends runs every golden fixture under both storage
+// backends: the match sets must be byte-identical to the fixtures, and
+// after each round-structured run the two stores must hold the same
+// evidence stream. Round schemes additionally re-run on the sharded
+// executor with the disk store underneath.
+func TestGoldenStoreBackends(t *testing.T) {
+	for _, ds := range goldenSeeds {
+		exp, err := cem.New(cem.NewDataset(ds.kind, ds.scale, ds.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, matcher := range []string{cem.MatcherMLN, cem.MatcherRules} {
+			for _, scheme := range goldenMatrix[matcher] {
+				name := fmt.Sprintf("%s-%s-%s", ds.kind, matcher, scheme)
+				t.Run(name, func(t *testing.T) {
+					path := filepath.Join("testdata", "golden", name+".golden")
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Skipf("fixture %s not generated yet", path)
+					}
+					var streams [][]uint64
+					for _, sv := range storeVariants(t) {
+						runner, err := exp.Runner(matcher, sv.opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := runner.Run(context.Background(), scheme)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := renderMatches(res); got != string(want) {
+							t.Errorf("%s store: match set diverges from %s: %s",
+								sv.name, path, firstDiff(got, string(want)))
+						}
+						st, err := runner.Store()
+						if err != nil {
+							t.Fatal(err)
+						}
+						streams = append(streams, evidenceKeys(t, st))
+					}
+					// FULL and UB never consult the store (no round
+					// structure); for round schemes the mirrored M+ must be
+					// identical across backends and non-trivial.
+					if scheme == cem.SchemeFull || scheme == cem.SchemeUB {
+						return
+					}
+					mem, disk := streams[0], streams[1]
+					if len(mem) == 0 {
+						t.Errorf("mem store ended empty after a round-structured run")
+					}
+					if len(mem) != len(disk) {
+						t.Fatalf("evidence streams diverge: mem holds %d keys, disk %d", len(mem), len(disk))
+					}
+					for i := range mem {
+						if mem[i] != disk[i] {
+							t.Fatalf("evidence streams diverge at key %d: %#x vs %#x", i, mem[i], disk[i])
+						}
+					}
+					// The sharded executor over the disk store lands on the
+					// same fixture — partitioned evidence replicas reduce
+					// into the same persistent stream.
+					sharded, err := exp.Runner(matcher, cem.WithShardCount(2),
+						cem.WithStore("disk", cem.WithStoreDir(t.TempDir())))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sres, err := sharded.Run(context.Background(), scheme)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := renderMatches(sres); got != string(want) {
+						t.Errorf("sharded(2) on disk store diverges from %s: %s",
+							path, firstDiff(got, string(want)))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalStoreBackends runs the randomized ingestion harness
+// with each storage backend underneath the pipeline: the final state
+// after batched arrivals must be byte-identical to the cold run, with
+// the usual warm-start savings intact.
+func TestIncrementalStoreBackends(t *testing.T) {
+	for _, ds := range goldenSeeds {
+		records, err := cem.GenerateRecords(ds.kind, ds.scale, ds.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := arrival(rand.New(rand.NewSource(3)), records)
+		var union []cem.Record
+		for _, b := range batches {
+			union = append(union, b...)
+		}
+		// The cold reference runs on the pool backend: a store forces the
+		// round executor, and matcher-call counts only grade against the
+		// same execution shape.
+		coldPipe, err := cem.NewPipeline(
+			cem.WithScheme(cem.SchemeSMP),
+			cem.WithRunnerOptions(cem.WithBackend(cem.NewPoolBackend())),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := coldPipe.Run(context.Background(), union)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := renderMatches(cold.Result)
+		for _, sv := range storeVariants(t) {
+			t.Run(fmt.Sprintf("%s-%s", ds.kind, sv.name), func(t *testing.T) {
+				pipe, err := cem.NewPipeline(
+					cem.WithScheme(cem.SchemeSMP),
+					cem.WithRunnerOptions(sv.opt),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := ingest(t, pipe, batches, cold)
+				if got := renderMatches(res.Result); got != want {
+					t.Errorf("%s store: incremental result diverges from cold run: %s",
+						sv.name, firstDiff(got, want))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package cem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bib"
+	"repro/internal/canopy"
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/match"
+)
+
+// Store-backed state: SaveState persists a completed pipeline result
+// into a Store (evidence is already there, mirrored round by round when
+// the runner carries the store; SaveState adds the snapshot blob and
+// the blocking postings blob), and Pipeline.Reopen restores the result
+// from the store without running the matcher at all — the
+// restart-without-replay path a disk-backed service uses.
+
+// stateBlobName is the snapshot/postings blob both sides agree on.
+const stateBlobName = "latest"
+
+// SaveState persists res into s as the store's current state: a
+// snapshot blob (a wire.Checkpoint carrying the run's provenance, its
+// pre-closure evidence, outstanding maximal messages, and seq as the
+// commit sequence number) plus — when res carries streaming blocking
+// state — a postings blob with the serialized delta index. Evidence
+// segments are the runner's business; SaveState only writes blobs, so
+// it is cheap relative to a run and safe to call once per commit.
+func SaveState(s match.Store, res *PipelineResult, seq int) error {
+	if s == nil {
+		return fmt.Errorf("cem: SaveState needs a store")
+	}
+	if res == nil || res.Result == nil || res.Experiment == nil {
+		return fmt.Errorf("cem: SaveState needs a completed pipeline result")
+	}
+	if seq < 0 {
+		return fmt.Errorf("cem: SaveState sequence %d is negative", seq)
+	}
+	snap, err := res.Experiment.Snapshot(res.Result)
+	if err != nil {
+		return err
+	}
+	ck := &wire.Checkpoint{
+		Scheme:        res.Scheme,
+		Matcher:       res.Matcher,
+		Neighborhoods: snap.Neighborhoods,
+		Entities:      snap.Entities,
+		Round:         seq,
+		Done:          true,
+		Delta:         make([]uint64, len(snap.Evidence)),
+		Visits:        make([]int, snap.Neighborhoods),
+	}
+	for i, k := range snap.Evidence {
+		ck.Delta[i] = uint64(k)
+	}
+	for _, msg := range snap.Messages {
+		g := make([]uint64, len(msg))
+		for i, p := range msg {
+			g[i] = uint64(p.Key())
+		}
+		ck.Messages = append(ck.Messages, g)
+	}
+	data, err := ck.Marshal(wire.Binary)
+	if err != nil {
+		return fmt.Errorf("cem: encoding state snapshot: %w", err)
+	}
+	if err := s.SaveBlob(match.KindSnapshot, stateBlobName, data); err != nil {
+		return err
+	}
+	if res.index != nil {
+		postings, err := res.index.Save()
+		if err != nil {
+			return err
+		}
+		if err := s.SaveBlob(match.KindPostings, stateBlobName, postings); err != nil {
+			return err
+		}
+	}
+	return s.Flush()
+}
+
+// StateSeq reads the commit sequence number of the state snapshot
+// SaveState last wrote into s, without rebuilding anything. A store with
+// no saved snapshot returns match.ErrBlobNotFound (wrapped) — callers
+// use this to decide how many journaled batches a Reopen would cover.
+func StateSeq(s match.Store) (int, error) {
+	if s == nil {
+		return 0, fmt.Errorf("cem: StateSeq needs a store")
+	}
+	data, err := s.OpenBlob(match.KindSnapshot, stateBlobName)
+	if err != nil {
+		return 0, fmt.Errorf("cem: reading state snapshot: %w", err)
+	}
+	ck, err := wire.UnmarshalCheckpoint(data)
+	if err != nil {
+		return 0, fmt.Errorf("cem: state snapshot: %w", err)
+	}
+	return ck.Round, nil
+}
+
+// Reopen restores the pipeline state SaveState persisted into s,
+// returning the rebuilt result and the saved commit sequence number.
+// records must be the exact record stream the saved state was built
+// over (a service keeps it in its journal); the matcher is NEVER
+// invoked — the match set comes from the snapshot blob, and the
+// blocking state comes from the postings blob when present (falling
+// back to replaying the records through a fresh index, which is
+// blocking-only work). The returned result carries the streaming state
+// Update needs, so ingestion continues incrementally exactly as if the
+// process had never died. Run statistics are not persisted; the
+// reopened result's Stats are zero apart from structural counts.
+//
+// A store with no saved snapshot returns match.ErrBlobNotFound
+// (wrapped): the caller decides whether that means "fresh store" or
+// "corruption".
+func (p *Pipeline) Reopen(ctx context.Context, records []Record, s match.Store) (*PipelineResult, int, error) {
+	if s == nil {
+		return nil, 0, fmt.Errorf("cem: Reopen needs a store")
+	}
+	data, err := s.OpenBlob(match.KindSnapshot, stateBlobName)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cem: reopening state: %w", err)
+	}
+	ck, err := wire.UnmarshalCheckpoint(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cem: state snapshot: %w", err)
+	}
+	if got := schemeFromCore(ck.Scheme); got != p.scheme {
+		return nil, 0, fmt.Errorf("cem: store state was saved from scheme %q, pipeline runs %q", ck.Scheme, p.scheme)
+	}
+	if ck.Matcher != p.matcher {
+		return nil, 0, fmt.Errorf("cem: store state was saved by matcher %q, pipeline runs %q", ck.Matcher, p.matcher)
+	}
+	if ck.Entities != len(records) {
+		return nil, 0, fmt.Errorf("cem: store state spans %d entities but %d records were supplied", ck.Entities, len(records))
+	}
+
+	start := time.Now()
+	raw, labeled := toBibRecords(records)
+	d, err := bib.DatasetFromRecords(p.name, raw)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cem: reopening state: %w", err)
+	}
+	index, err := p.reopenIndex(ctx, records, d, s)
+	if err != nil {
+		return nil, 0, err
+	}
+	cover := index.Cover()
+	if cover == nil || cover.Len() != ck.Neighborhoods || cover.NumEntities != ck.Entities {
+		return nil, 0, fmt.Errorf("cem: reopened blocking state (%d sets) disagrees with the snapshot (%d sets) — were the records the saved stream?",
+			cover.Len(), ck.Neighborhoods)
+	}
+	blockingTime := time.Since(start)
+
+	opts := DefaultOptions()
+	for _, o := range p.expOpts {
+		o(&opts)
+	}
+	opts.Canopy = p.blocking
+	exp, err := setup(d, opts, cover)
+	if err != nil {
+		return nil, 0, err
+	}
+	runner, err := exp.Runner(p.matcher, p.runnerOpts...)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Fabricate the engine result from the snapshot: evidence and
+	// messages verbatim, no matcher involvement.
+	rawRes := &core.Result{Scheme: ck.Scheme, Matches: core.NewPairSet()}
+	rawRes.Stats.Neighborhoods = cover.Len()
+	n := core.EntityID(cover.NumEntities)
+	for _, k := range ck.Delta {
+		pr := core.PairKey(k).Pair()
+		if !pr.Valid() || pr.B >= n {
+			return nil, 0, fmt.Errorf("cem: state snapshot evidence pair %v invalid over %d entities", pr, n)
+		}
+		rawRes.Matches.AddKey(core.PairKey(k))
+	}
+	for _, g := range ck.Messages {
+		msg := make([]match.Pair, len(g))
+		for i, k := range g {
+			msg[i] = core.PairKey(k).Pair()
+		}
+		rawRes.Messages = append(rawRes.Messages, msg)
+	}
+	res := runner.seal(rawRes)
+
+	out := &PipelineResult{
+		Result:       res,
+		Experiment:   exp,
+		Records:      len(records),
+		Labeled:      labeled,
+		BlockingTime: blockingTime,
+		records:      append([]Record(nil), records...),
+		index:        index,
+		blocking:     p.blocking,
+	}
+	if labeled {
+		report := exp.Evaluate(res)
+		bcubed := exp.EvaluateBCubed(res)
+		out.Report = &report
+		out.BCubed = &bcubed
+	}
+	return out, ck.Round, nil
+}
+
+// reopenIndex restores the blocking state: from the postings blob when
+// one is present and consistent with this pipeline, otherwise by
+// replaying the records through a fresh delta index.
+func (p *Pipeline) reopenIndex(ctx context.Context, records []Record, d *bib.Dataset, s match.Store) (*canopy.Index, error) {
+	blob, err := s.OpenBlob(match.KindPostings, stateBlobName)
+	if err == nil {
+		ix, lerr := canopy.LoadIndex(blob)
+		if lerr == nil && ix.Config() == p.blocking && ix.Len() == len(records) && ix.Cover() != nil {
+			return ix, nil
+		}
+		// A stale or foreign postings blob is a cache miss, not an error.
+	} else if !errors.Is(err, match.ErrBlobNotFound) {
+		return nil, err
+	}
+	index, err := canopy.NewIndex(p.blocking)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := index.Add(ctx, d); err != nil {
+		return nil, err
+	}
+	return index, nil
+}
