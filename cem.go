@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bib"
 	"repro/internal/canopy"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -75,6 +76,12 @@ const (
 	// Million is the DBLP regime sized to ~1M references at scale 1.0 —
 	// the larger-than-RAM storage trajectory corpus (see WithStore).
 	Million DatasetKind = "million"
+	// People is the second end-to-end domain: household-snapshot person
+	// dedup over typed-field composite keys (name | street | phone |
+	// zip), with households as the co-occurrence relation. Match it with
+	// a declarative rules file (see RegisterRuleProgram) rather than the
+	// bibliographic built-ins.
+	People DatasetKind = "people"
 )
 
 // Scheme selects the execution scheme.
@@ -181,6 +188,16 @@ func NewDataset(kind DatasetKind, scale float64, seed int64) *match.Dataset {
 // GenerateDataset generates a synthetic corpus of the given kind,
 // reporting unknown kinds and generation failures as errors.
 func GenerateDataset(kind DatasetKind, scale float64, seed int64) (*match.Dataset, error) {
+	if kind == People {
+		if err := datagen.ValidateScale(scale); err != nil {
+			return nil, fmt.Errorf("cem: %w", err)
+		}
+		recs, err := datagen.GeneratePeople(datagen.PeopleLike(scale, seed))
+		if err != nil {
+			return nil, err
+		}
+		return bib.DatasetFromRecords("people-like", recs)
+	}
 	cfg, err := datagenConfig(kind, scale, seed)
 	if err != nil {
 		return nil, err
@@ -188,8 +205,14 @@ func GenerateDataset(kind DatasetKind, scale float64, seed int64) (*match.Datase
 	return datagen.Generate(cfg)
 }
 
-// datagenConfig maps a dataset kind to its generator preset.
+// datagenConfig maps a dataset kind to its generator preset. The scale
+// is validated here — the one choke point every generation path (CLI
+// flags included) goes through — so NaN and non-positive scales fail
+// loudly instead of silently collapsing to one-reference corpora.
 func datagenConfig(kind DatasetKind, scale float64, seed int64) (datagen.Config, error) {
+	if err := datagen.ValidateScale(scale); err != nil {
+		return datagen.Config{}, fmt.Errorf("cem: %w", err)
+	}
 	switch kind {
 	case HEPTH:
 		return datagen.HEPTHLike(scale, seed), nil

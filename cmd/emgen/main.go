@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "hepth", "corpus kind: hepth | dblp | dblp-big | million")
+		kind    = flag.String("kind", "hepth", "corpus kind: hepth | dblp | dblp-big | million | people")
 		scale   = flag.Float64("scale", 1.0, "size multiplier (1.0 ≈ a few thousand references)")
 		seed    = flag.Int64("seed", 42, "generation seed (deterministic output)")
 		out     = flag.String("out", "", "output file (default: stdout; - for stdout)")

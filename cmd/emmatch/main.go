@@ -19,6 +19,7 @@
 //	emmatch -kind hepth -scheme smp -checkpoint-dir run1/ -resume
 //	emmatch -kind hepth -backend sharded-net -backend-shards 3
 //	emmatch -kind hepth -backend sharded-net -worker-addrs 127.0.0.1:7401,127.0.0.1:7402
+//	emmatch -kind people -scale 0.25 -rules-file people.rules -scheme smp
 package main
 
 import (
@@ -53,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		in       = fs.String("in", "", "dataset TSV file (from emgen); empty to generate")
 		records  = fs.String("records", "", "raw records TSV file (from emgen -records); runs the full pipeline")
 		ingest   = fs.String("ingest", "", "comma-separated record TSV files replayed as an incremental stream")
-		kind     = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big | million")
+		kind     = fs.String("kind", "hepth", "generated corpus kind: hepth | dblp | dblp-big | million | people")
 		scale    = fs.Float64("scale", 0.5, "generated corpus scale")
 		seed     = fs.Int64("seed", 42, "generation seed")
 		scheme   = fs.String("scheme", "smp", "scheme: nomp | smp | mmp | full | ub")
@@ -70,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume   = fs.Bool("resume", false, "continue the run from -checkpoint-dir instead of starting over")
 		stName   = fs.String("store", "", "storage backend for run state: "+strings.Join(cem.Stores(), " | ")+"; evidence is mirrored per round, -records/-ingest also save a reopenable snapshot")
 		stateDir = fs.String("state-dir", "", "root directory of a disk-backed -store (the store lives under <dir>/store)")
+		rulesF   = fs.String("rules-file", "", "declarative rules program; compiles and registers it, selecting it as the matcher")
 		progress = fs.Bool("progress", false, "print a line per neighborhood evaluation")
 		verbose  = fs.Bool("v", false, "print run statistics")
 		dump     = fs.String("dump-matches", "", "write the final match pairs (sorted, one per line) to this file")
@@ -83,6 +85,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *stateDir != "" && *stName == "" {
 		return fmt.Errorf("-state-dir requires -store")
+	}
+	if *stName == "disk" && *stateDir == "" {
+		return fmt.Errorf("-store disk requires -state-dir (the segment store needs a directory)")
+	}
+	if *stateDir != "" && *stName == "mem" {
+		return fmt.Errorf("-state-dir is meaningless with -store mem (nothing is persisted); use -store disk")
+	}
+	if *rulesF != "" {
+		name, err := cem.LoadRulesFile(*rulesF)
+		if err != nil {
+			return err
+		}
+		matcherSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "matcher" {
+				matcherSet = true
+			}
+		})
+		if matcherSet && *matcher != name {
+			return fmt.Errorf("-rules-file program is named %q but -matcher asks for %q; drop -matcher or make the names agree", name, *matcher)
+		}
+		*matcher = name
 	}
 	if *bShards != 0 && *backend != "sharded" && *backend != "sharded-net" {
 		return fmt.Errorf("-backend-shards requires -backend sharded or sharded-net (got -backend %q)", *backend)

@@ -48,6 +48,18 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown flag",
 			[]string{"-no-such-flag"},
 			"flag provided but not defined"},
+		{"disk store without state dir",
+			[]string{"-store", "disk"},
+			"-store disk requires -state-dir"},
+		{"state dir with mem store",
+			[]string{"-store", "mem", "-state-dir", "x"},
+			"-state-dir is meaningless with -store mem"},
+		{"state dir without store",
+			[]string{"-state-dir", "x"},
+			"-state-dir requires -store"},
+		{"missing rules file",
+			[]string{"-rules-file", "no-such-file.rules"},
+			"reading rules file"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,6 +69,58 @@ func TestFlagValidation(t *testing.T) {
 				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// writeRulesFile drops a rules program into a temp file. Each test uses
+// a distinct program name: the registry is process-global.
+func writeRulesFile(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.rules")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRulesFileMatcherConflict: -rules-file selects the program as the
+// matcher; an explicitly contradicting -matcher must be rejected, an
+// agreeing one accepted.
+func TestRulesFileMatcherConflict(t *testing.T) {
+	path := writeRulesFile(t, "program cli-conflict\nmatch level 3\n")
+	if _, err := runQuiet(t, "-rules-file", path, "-matcher", "mln"); err == nil {
+		t.Fatal("conflicting -matcher accepted")
+	} else if !strings.Contains(err.Error(), `named "cli-conflict" but -matcher asks for "mln"`) {
+		t.Fatalf("conflict error = %v", err)
+	}
+	// A bad program surfaces its position.
+	bad := writeRulesFile(t, "program cli-bad\nmatch level\n")
+	if _, err := runQuiet(t, "-rules-file", bad); err == nil {
+		t.Fatal("malformed rules file accepted")
+	} else if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("compile error carries no position: %v", err)
+	}
+}
+
+// TestRulesFileEndToEnd drives the people corpus through the binary's
+// classic path programmed only by a rules file.
+func TestRulesFileEndToEnd(t *testing.T) {
+	path := writeRulesFile(t, `program cli-people
+fields name, street, phone, zip
+level 3 when phone equal
+level 2 when name jaro >= 0.85 and zip equal
+match level 3
+match level 2
+`)
+	out, err := runQuiet(t, "-kind", "people", "-scale", "0.1", "-rules-file", path, "-scheme", "smp")
+	if err != nil {
+		t.Fatalf("people run: %v", err)
+	}
+	if !strings.Contains(out, "dataset people-like") {
+		t.Errorf("report lacks the dataset line:\n%s", out)
+	}
+	if !strings.Contains(out, "P=") {
+		t.Errorf("report lacks metrics:\n%s", out)
 	}
 }
 

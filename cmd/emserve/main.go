@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 		maxNbr   = fs.Int("max-neighborhood", 0, "canopy size bound (0 = unbounded)")
 		parallel = fs.Int("parallel", 1, "concurrent neighborhood evaluations")
 		dataset  = fs.String("dataset", "emserve", "dataset name reported in snapshots")
+		rulesF   = fs.String("rules-file", "", "declarative rules program; compiles and registers it, selecting it as the matcher")
 		maxBatch = fs.Int("max-batch", 256, "flush a batch once it holds this many records")
 		maxDelay = fs.Duration("max-delay", 200*time.Millisecond, "flush a batch once its oldest record waited this long")
 		queueCap = fs.Int("queue-cap", 64, "queued ingest requests before producers block (backpressure)")
@@ -68,8 +69,27 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal, ready cha
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *stName == "mem" {
+		return fmt.Errorf("-store mem persists nothing across restarts; drop -store (journal/checkpoint recovery) or use -store disk")
+	}
 	if *stName != "" && *state == "" {
 		return fmt.Errorf("-store %s requires -state-dir", *stName)
+	}
+	if *rulesF != "" {
+		name, err := cem.LoadRulesFile(*rulesF)
+		if err != nil {
+			return err
+		}
+		matcherSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "matcher" {
+				matcherSet = true
+			}
+		})
+		if matcherSet && *matcher != name {
+			return fmt.Errorf("-rules-file program is named %q but -matcher asks for %q; drop -matcher or make the names agree", name, *matcher)
+		}
+		*matcher = name
 	}
 	switch cem.Scheme(*scheme) {
 	case cem.SchemeNoMP, cem.SchemeSMP, cem.SchemeMMP:

@@ -123,6 +123,62 @@ func TestEmserveBadFlags(t *testing.T) {
 	}
 }
 
+// TestEmserveStoreFlagValidation pins the store flag combinations that
+// cannot deliver what they promise.
+func TestEmserveStoreFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"disk store without state dir",
+			[]string{"-store", "disk"},
+			"requires -state-dir"},
+		{"mem store never persists",
+			[]string{"-store", "mem", "-state-dir", t.TempDir()},
+			"persists nothing"},
+		{"mem store without state dir",
+			[]string{"-store", "mem"},
+			"persists nothing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard, io.Discard, nil, nil)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEmserveRulesFile: -rules-file programs the service's matcher; a
+// contradicting -matcher is rejected.
+func TestEmserveRulesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.rules")
+	if err := os.WriteFile(path, []byte("program srv-prog\nmatch level 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-rules-file", path, "-matcher", "mln"}, io.Discard, io.Discard, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), `-matcher asks for "mln"`) {
+		t.Fatalf("conflicting -matcher not rejected: %v", err)
+	}
+	// With no -matcher the program is selected; a bad listen address
+	// then fails past matcher resolution, proving the program loaded.
+	// (The registry is process-global, so this run needs its own
+	// program name.)
+	path2 := filepath.Join(t.TempDir(), "prog2.rules")
+	if err := os.WriteFile(path2, []byte("program srv-prog2\nmatch level 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-rules-file", path2, "-addr", "256.0.0.1:bad"}, io.Discard, io.Discard, nil, nil)
+	if err == nil || strings.Contains(err.Error(), "rules") {
+		t.Fatalf("rules-file service did not reach the listen stage: %v", err)
+	}
+}
+
 // TestEmserveRejectsUnknownFlag keeps the flag surface honest.
 func TestEmserveRejectsUnknownFlag(t *testing.T) {
 	var stderr bytes.Buffer

@@ -1,0 +1,79 @@
+package canopy
+
+import (
+	"testing"
+
+	"repro/internal/bib"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/similarity"
+)
+
+// peopleCover builds the blocking cover and candidate pairs for the
+// standard people-like corpus at the golden scale/seed.
+func peopleCover(t *testing.T) (*bib.Dataset, []SimilarPair) {
+	t.Helper()
+	recs := datagen.MustGeneratePeople(datagen.PeopleLike(0.25, 42))
+	d, err := bib.DatasetFromRecords("people-like", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := BuildCover(d, DefaultConfig())
+	return d, CandidatePairs(d, cover)
+}
+
+// TestPeopleBlockingProperties pins the blocking-stage invariants the
+// people domain's rules program depends on: candidate pairs are unique,
+// ordered and positively similar, and — because the household-stable zip
+// is the key's last token — the cover retains nearly every ground-truth
+// pair despite the name-field noise.
+func TestPeopleBlockingProperties(t *testing.T) {
+	d, pairs := peopleCover(t)
+	if len(pairs) == 0 {
+		t.Fatal("people corpus produced no candidate pairs")
+	}
+	seen := map[core.Pair]bool{}
+	for _, sp := range pairs {
+		if sp.Level <= similarity.LevelNone {
+			t.Fatalf("candidate %v admitted at level %d", sp.Pair, sp.Level)
+		}
+		if sp.Pair.A >= sp.Pair.B {
+			t.Fatalf("candidate %v not strictly ordered", sp.Pair)
+		}
+		if seen[sp.Pair] {
+			t.Fatalf("candidate %v emitted twice", sp.Pair)
+		}
+		seen[sp.Pair] = true
+	}
+
+	truth := d.TruePairs()
+	if len(truth) == 0 {
+		t.Fatal("people corpus carries no ground-truth pairs")
+	}
+	covered := 0
+	for p := range truth {
+		if seen[core.Pair{A: p[0], B: p[1]}] {
+			covered++
+		}
+	}
+	recall := float64(covered) / float64(len(truth))
+	if recall < 0.90 {
+		t.Errorf("blocking retains %.3f of %d true pairs, want >= 0.90", recall, len(truth))
+	}
+}
+
+// TestPeopleBlockingDeterministic: two scratch builds over the same
+// corpus emit the identical candidate set — the property every golden
+// fixture sits on.
+func TestPeopleBlockingDeterministic(t *testing.T) {
+	_, first := peopleCover(t)
+	_, again := peopleCover(t)
+	if len(first) != len(again) {
+		t.Fatalf("candidate counts diverge: %d vs %d", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("candidate %d diverges: %+v vs %+v", i, first[i], again[i])
+		}
+	}
+}

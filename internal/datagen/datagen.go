@@ -71,6 +71,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("datagen: AbbreviateProb = %v out of [0,1]", c.AbbreviateProb)
 	case c.TypoProb < 0 || c.TypoProb > 1:
 		return fmt.Errorf("datagen: TypoProb = %v out of [0,1]", c.TypoProb)
+	case c.CiteProb < 0 || c.CiteProb > 1 || c.CiteProb != c.CiteProb:
+		return fmt.Errorf("datagen: CiteProb = %v out of [0,1]", c.CiteProb)
+	case c.MaxCites < 0:
+		return fmt.Errorf("datagen: MaxCites = %d, want >= 0", c.MaxCites)
 	case c.RepeatGroupProb < 0 || c.RepeatGroupProb > 1:
 		return fmt.Errorf("datagen: RepeatGroupProb = %v out of [0,1]", c.RepeatGroupProb)
 	}

@@ -1,0 +1,139 @@
+package datagen
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+func TestGeneratePeople(t *testing.T) {
+	recs := MustGeneratePeople(PeopleLike(0.25, 42))
+	if len(recs) < 100 {
+		t.Fatalf("suspiciously small corpus: %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Group < 0 || r.Gold < 0 {
+			t.Fatalf("record %d unlabeled/ungrouped: %+v", i, r)
+		}
+		fields := similarity.SplitFields(r.Name)
+		if len(fields) != 4 {
+			t.Fatalf("record %d key %q has %d fields, want 4 (name|street|phone|zip)", i, r.Name, len(fields))
+		}
+		if fields[0] == "" || fields[1] == "" || fields[3] == "" {
+			t.Fatalf("record %d key %q missing a mandatory field", i, r.Name)
+		}
+		if len(fields[3]) != 5 {
+			t.Fatalf("record %d zip %q not 5 digits", i, fields[3])
+		}
+		if fields[2] != "" && !strings.HasPrefix(fields[2], "555-") {
+			t.Fatalf("record %d phone %q malformed", i, fields[2])
+		}
+	}
+	// Deterministic in the seed; different seeds differ.
+	if again := MustGeneratePeople(PeopleLike(0.25, 42)); !reflect.DeepEqual(recs, again) {
+		t.Fatal("generation not deterministic in seed")
+	}
+	if other := MustGeneratePeople(PeopleLike(0.25, 43)); reflect.DeepEqual(recs, other) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+	// Every person should be observed more than once on average — the
+	// whole point of snapshots — and phones must be stable per person.
+	seen := map[int32]int{}
+	phones := map[int32]string{}
+	for _, r := range recs {
+		seen[r.Gold]++
+		if p := similarity.SplitFields(r.Name)[2]; p != "" {
+			if prev, ok := phones[r.Gold]; ok && prev != p {
+				t.Fatalf("person %d has two phones: %q vs %q", r.Gold, prev, p)
+			} else if !ok {
+				phones[r.Gold] = p
+			}
+		}
+	}
+	if len(recs) < 2*len(seen) {
+		t.Fatalf("too few repeat observations: %d records over %d people", len(recs), len(seen))
+	}
+}
+
+func TestPeopleConfigValidate(t *testing.T) {
+	good := PeopleLike(0.1, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutate := []func(*PeopleConfig){
+		func(c *PeopleConfig) { c.NumPeople = 0 },
+		func(c *PeopleConfig) { c.NumHouseholds = -1 },
+		func(c *PeopleConfig) { c.Snapshots = 0 },
+		func(c *PeopleConfig) { c.PresentProb = 0 },
+		func(c *PeopleConfig) { c.PresentProb = 1.5 },
+		func(c *PeopleConfig) { c.NicknameProb = -0.1 },
+		func(c *PeopleConfig) { c.TypoProb = 2 },
+		func(c *PeopleConfig) { c.StreetAbbrevProb = -1 },
+		func(c *PeopleConfig) { c.MissingPhoneProb = 1.1 },
+		func(c *PeopleConfig) { c.ZipPool = 0 },
+	}
+	for i, m := range mutate {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, c)
+		}
+		if _, err := GeneratePeople(c); err == nil {
+			t.Errorf("GeneratePeople accepted mutation %d", i)
+		}
+	}
+}
+
+func TestValidateScale(t *testing.T) {
+	for _, bad := range []float64{0, -1, -0.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := ValidateScale(bad); err == nil {
+			t.Errorf("scale %v accepted", bad)
+		}
+	}
+	for _, ok := range []float64{1, 0.01, 0.001, 10} {
+		if err := ValidateScale(ok); err != nil {
+			t.Errorf("scale %v rejected: %v", ok, err)
+		}
+	}
+}
+
+// TestTinyScaleRegression: scales at or below 0.01 used to be the
+// degenerate zone (scaleInt rounding pools toward zero). All presets must
+// keep producing small but valid, non-empty corpora there.
+func TestTinyScaleRegression(t *testing.T) {
+	for _, scale := range []float64{0.01, 0.001} {
+		for _, cfg := range []Config{HEPTHLike(scale, 7), DBLPLike(scale, 7)} {
+			d, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s at scale %v: %v", cfg.Name, scale, err)
+			}
+			if d.NumRefs() == 0 {
+				t.Fatalf("%s at scale %v: empty corpus", cfg.Name, scale)
+			}
+		}
+		recs, err := GeneratePeople(PeopleLike(scale, 7))
+		if err != nil {
+			t.Fatalf("people at scale %v: %v", scale, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("people at scale %v: empty corpus", scale)
+		}
+	}
+}
+
+func TestConfigValidateCiteFields(t *testing.T) {
+	good := HEPTHLike(0.1, 1)
+	for _, bad := range []Config{
+		func() Config { c := good; c.CiteProb = -0.1; return c }(),
+		func() Config { c := good; c.CiteProb = 1.5; return c }(),
+		func() Config { c := good; c.CiteProb = math.NaN(); return c }(),
+		func() Config { c := good; c.MaxCites = -1; return c }(),
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted CiteProb=%v MaxCites=%d", bad.CiteProb, bad.MaxCites)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package datagen
 
+import "fmt"
+
 // Presets mirror the three corpora of §6. Scale multiplies the entity
 // counts; Scale = 1.0 produces a dataset sized for fast experimentation
 // (a few thousand references), while larger scales approach the paper's
@@ -69,6 +71,28 @@ func MillionLike(scale float64, seed int64) Config {
 	return c
 }
 
+// ValidateScale rejects scale multipliers that silently degenerate:
+// NaN and infinities have no meaningful int projection, and zero or
+// negative scales collapse every pool to the 1-element floor, producing
+// corpora with a single reference that match nothing. Callers that take
+// a scale from user input (CLIs, cem.GenerateDataset) check here before
+// building a preset.
+func ValidateScale(scale float64) error {
+	switch {
+	case scale != scale:
+		return fmt.Errorf("datagen: scale is NaN")
+	case scale > 1e18 || scale < -1e18:
+		return fmt.Errorf("datagen: scale %v is not finite enough to size a corpus", scale)
+	case scale <= 0:
+		return fmt.Errorf("datagen: scale = %v, want > 0", scale)
+	}
+	return nil
+}
+
+// scaleInt projects a preset base count through the scale multiplier,
+// clamping to 1 so that tiny-but-positive scales stay valid (a pool of
+// one name is degenerate but generatable; ValidateScale guards the
+// genuinely meaningless inputs).
 func scaleInt(base int, scale float64) int {
 	v := int(float64(base) * scale)
 	if v < 1 {

@@ -1,0 +1,197 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rules"
+	"repro/internal/similarity"
+)
+
+// Semantic validation sentinels, matchable with errors.Is through the
+// *CompileError wrapper. Match-clause problems reuse the rules package's
+// own sentinels (rules.ErrUnknownLevel, rules.ErrDuplicateLevel,
+// rules.ErrNegativeSupport) so callers handle hand-built and compiled
+// programs uniformly.
+var (
+	// ErrNoFields marks a predicate in a program with no fields
+	// declaration.
+	ErrNoFields = errors.New("lang: field predicates require a fields declaration")
+	// ErrUnknownField marks a predicate naming an undeclared field.
+	ErrUnknownField = errors.New("lang: unknown field")
+	// ErrDuplicateField marks a fields declaration naming a field twice.
+	ErrDuplicateField = errors.New("lang: duplicate field")
+	// ErrBadThreshold marks a similarity threshold outside [0, 1].
+	ErrBadThreshold = errors.New("lang: similarity threshold out of range")
+	// ErrDuplicateLevelClause marks two level clauses assigning the same
+	// level.
+	ErrDuplicateLevelClause = errors.New("lang: duplicate level clause")
+)
+
+// Plan is a compiled, validated program ready for grounding: the match
+// clauses lowered to the engine's rule slice and the level clauses
+// ordered strongest-first for candidate re-discretization.
+type Plan struct {
+	Prog       *Program
+	Rules      []rules.Rule
+	fieldIdx   map[string]int
+	byStrength []LevelClause
+}
+
+// Compile validates the parsed program and lowers it to a Plan. Errors
+// are *CompileError values positioned at the offending clause and
+// wrapping a typed sentinel.
+func Compile(p *Program) (*Plan, error) {
+	pl := &Plan{Prog: p, fieldIdx: make(map[string]int, len(p.Fields))}
+	for i, f := range p.Fields {
+		if _, dup := pl.fieldIdx[f.Name]; dup {
+			return nil, &CompileError{f.Pos, fmt.Errorf("%w: %q declared twice", ErrDuplicateField, f.Name)}
+		}
+		pl.fieldIdx[f.Name] = i
+	}
+	seenLevel := map[int]bool{}
+	for _, lc := range p.Levels {
+		if lc.Level < int(similarity.LevelWeak) || lc.Level > int(similarity.LevelStrong) {
+			return nil, &CompileError{lc.Pos, fmt.Errorf("%w: level clause for level %d, want 1..3", rules.ErrUnknownLevel, lc.Level)}
+		}
+		if seenLevel[lc.Level] {
+			return nil, &CompileError{lc.Pos, fmt.Errorf("%w: level %d assigned twice", ErrDuplicateLevelClause, lc.Level)}
+		}
+		seenLevel[lc.Level] = true
+		if err := pl.checkCond(lc.Cond); err != nil {
+			return nil, err
+		}
+	}
+	seenMatch := map[int]bool{}
+	for _, mc := range p.Matches {
+		if mc.Level < int(similarity.LevelWeak) || mc.Level > int(similarity.LevelStrong) {
+			return nil, &CompileError{mc.Pos, fmt.Errorf("%w: match clause for level %d, want 1..3", rules.ErrUnknownLevel, mc.Level)}
+		}
+		if seenMatch[mc.Level] {
+			return nil, &CompileError{mc.Pos, fmt.Errorf("%w: two match clauses for level %d", rules.ErrDuplicateLevel, mc.Level)}
+		}
+		seenMatch[mc.Level] = true
+		if mc.Cooccur < 0 {
+			return nil, &CompileError{mc.Pos, fmt.Errorf("%w: cooccur >= %d", rules.ErrNegativeSupport, mc.Cooccur)}
+		}
+		pl.Rules = append(pl.Rules, rules.Rule{
+			Level:              similarity.Level(mc.Level),
+			MinCoauthorMatches: mc.Cooccur,
+		})
+	}
+	for _, sc := range p.Seeds {
+		if err := pl.checkCond(sc.Cond); err != nil {
+			return nil, err
+		}
+	}
+	// Belt and braces: the lowered rules must satisfy the engine's own
+	// validation (the per-clause checks above are its positioned mirror).
+	if err := rules.Validate(pl.Rules); err != nil {
+		return nil, err
+	}
+	pl.byStrength = append([]LevelClause(nil), p.Levels...)
+	sort.Slice(pl.byStrength, func(i, j int) bool {
+		return pl.byStrength[i].Level > pl.byStrength[j].Level
+	})
+	return pl, nil
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string) (*Plan, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p)
+}
+
+func (pl *Plan) checkCond(cond []Pred) error {
+	for _, pr := range cond {
+		if len(pl.Prog.Fields) == 0 {
+			return &CompileError{pr.Pos, fmt.Errorf("%w (predicate on %q)", ErrNoFields, pr.Field)}
+		}
+		if _, ok := pl.fieldIdx[pr.Field]; !ok {
+			return &CompileError{pr.Pos, fmt.Errorf("%w: %q (declared: %v)", ErrUnknownField, pr.Field, fieldNames(pl.Prog.Fields))}
+		}
+		switch pr.Op {
+		case OpJaro, OpQGram:
+			if pr.Num < 0 || pr.Num > 1 {
+				return &CompileError{pr.Pos, fmt.Errorf("%w: %s >= %s, want a value in [0, 1]", ErrBadThreshold, pr.Op, formatNum(pr.Num))}
+			}
+		}
+	}
+	return nil
+}
+
+func fieldNames(fs []FieldDecl) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// fieldVal returns the named field of a split composite key; fields past
+// the end of a short key are empty (missing data, never evidence).
+func (pl *Plan) fieldVal(fields []string, name string) string {
+	idx := pl.fieldIdx[name]
+	if idx >= len(fields) {
+		return ""
+	}
+	return fields[idx]
+}
+
+func evalPred(pr Pred, a, b string) bool {
+	switch pr.Op {
+	case OpEqual:
+		return similarity.FieldEqual(a, b)
+	case OpDiffer:
+		return similarity.FieldDiffer(a, b)
+	case OpJaro:
+		return similarity.FieldJaro(a, b) >= pr.Num
+	case OpQGram:
+		return similarity.FieldQGram(a, b) >= pr.Num
+	case OpLev:
+		return similarity.FieldLev(a, b) <= int(pr.Num)
+	case OpAbsDiff:
+		d, ok := similarity.AbsDiff(a, b)
+		return ok && d <= pr.Num
+	}
+	return false
+}
+
+// holds evaluates a conjunction over two split composite keys.
+func (pl *Plan) holds(cond []Pred, fa, fb []string) bool {
+	for _, pr := range cond {
+		if !evalPred(pr, pl.fieldVal(fa, pr.Field), pl.fieldVal(fb, pr.Field)) {
+			return false
+		}
+	}
+	return true
+}
+
+// levelOfFields assigns the highest declared level whose condition holds,
+// or LevelNone when none does.
+func (pl *Plan) levelOfFields(fa, fb []string) similarity.Level {
+	for _, lc := range pl.byStrength {
+		if pl.holds(lc.Cond, fa, fb) {
+			return similarity.Level(lc.Level)
+		}
+	}
+	return similarity.LevelNone
+}
+
+// LevelOf discretizes the similarity of two composite record keys with
+// the program's level clauses. It is only meaningful for programs that
+// declare level clauses; without any it returns LevelNone for everything.
+func (pl *Plan) LevelOf(keyA, keyB string) similarity.Level {
+	return pl.levelOfFields(similarity.SplitFields(keyA), similarity.SplitFields(keyB))
+}
+
+// Relevels reports whether the plan re-discretizes candidate levels
+// (i.e. the program declares level clauses).
+func (pl *Plan) Relevels() bool { return len(pl.byStrength) > 0 }
+
+// Seeded reports whether the plan injects hard evidence seeds.
+func (pl *Plan) Seeded() bool { return len(pl.Prog.Seeds) > 0 }

@@ -1,0 +1,99 @@
+package lang
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rules"
+	"repro/internal/similarity"
+)
+
+func mustCompile(t *testing.T, src string) *Plan {
+	t.Helper()
+	pl, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestCompileLowersRules(t *testing.T) {
+	pl := mustCompile(t, peopleSrc)
+	want := []rules.Rule{
+		{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
+		{Level: similarity.LevelMedium, MinCoauthorMatches: 1},
+		{Level: similarity.LevelWeak, MinCoauthorMatches: 2},
+	}
+	if len(pl.Rules) != len(want) {
+		t.Fatalf("rules = %+v", pl.Rules)
+	}
+	for i, r := range want {
+		if pl.Rules[i] != r {
+			t.Errorf("rule %d = %+v, want %+v", i, pl.Rules[i], r)
+		}
+	}
+	if !pl.Relevels() || !pl.Seeded() {
+		t.Error("plan should relevel and seed")
+	}
+}
+
+// TestCompileErrors pins the typed sentinel and position of each
+// semantic rejection.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		want      error
+		line, col int
+	}{
+		{"duplicate field", "program p\nfields a, b, a\n", ErrDuplicateField, 2, 14},
+		{"unknown field", "program p\nfields a\nlevel 2 when b equal\n", ErrUnknownField, 3, 14},
+		{"no fields decl", "program p\nequal when a equal\n", ErrNoFields, 2, 12},
+		{"level out of range", "program p\nfields a\nlevel 4 when a equal\n", rules.ErrUnknownLevel, 3, 1},
+		{"duplicate level clause", "program p\nfields a\nlevel 2 when a equal\nlevel 2 when a differ\n", ErrDuplicateLevelClause, 4, 1},
+		{"match level out of range", "program p\nmatch level 0\n", rules.ErrUnknownLevel, 2, 1},
+		{"duplicate match level", "program p\nmatch level 2\nmatch level 2 when cooccur >= 1\n", rules.ErrDuplicateLevel, 3, 1},
+		{"jaro threshold", "program p\nfields a\nlevel 2 when a jaro >= 1.5\n", ErrBadThreshold, 3, 14},
+		{"qgram threshold", "program p\nfields a\ndistinct when a qgram >= 2.0\n", ErrBadThreshold, 3, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileSource(tc.src)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			var ce *CompileError
+			if !errors.As(err, &ce) {
+				t.Fatalf("got %T, want *CompileError", err)
+			}
+			if ce.Pos.Line != tc.line || ce.Pos.Col != tc.col {
+				t.Errorf("position = %s, want %d:%d (%v)", ce.Pos, tc.line, tc.col, err)
+			}
+		})
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	pl := mustCompile(t, peopleSrc)
+	cases := []struct {
+		a, b string
+		want similarity.Level
+	}{
+		// Same name + phone: level 3.
+		{"ann smith | 12 oak st | 94110 | 555-0101", "Ann Smith | 12 Oak St. | 94110 | 555-0101", similarity.LevelStrong},
+		// Close name + same street, phone differs: level 2.
+		{"ann smith | 12 oak st | 94110 | 555-0101", "ann smyth | 12 oak st | 94110 |", similarity.LevelMedium},
+		// Close name only: level 1.
+		{"ann smith | 12 oak st | 94110 |", "ann smithe | 9 elm ave | 90210 |", similarity.LevelWeak},
+		// Unrelated: none.
+		{"ann smith | 12 oak st | 94110 |", "bob jones | 9 elm ave | 90210 |", similarity.LevelNone},
+	}
+	for _, tc := range cases {
+		if got := pl.LevelOf(tc.a, tc.b); got != tc.want {
+			t.Errorf("LevelOf(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if sym := pl.LevelOf(tc.b, tc.a); sym != pl.LevelOf(tc.a, tc.b) {
+			t.Errorf("LevelOf asymmetric on %q/%q", tc.a, tc.b)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokComma
+	tokGE // >=
+	tokLE // <=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokGE:
+		return "'>='"
+	case tokLE:
+		return "'<='"
+	}
+	return "token"
+}
+
+type token struct {
+	pos  Pos
+	kind tokKind
+	text string
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentRest(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '-'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexLine tokenizes one source line. '#' starts a comment running to the
+// end of the line. Columns are 1-based byte offsets.
+func lexLine(line int, s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return toks, nil
+		case isIdentStart(c):
+			start := i
+			for i < len(s) && isIdentRest(s[i]) {
+				i++
+			}
+			toks = append(toks, token{Pos{line, start + 1}, tokIdent, s[start:i]})
+		case isDigit(c):
+			start := i
+			for i < len(s) && isDigit(s[i]) {
+				i++
+			}
+			if i < len(s) && s[i] == '.' && i+1 < len(s) && isDigit(s[i+1]) {
+				i++
+				for i < len(s) && isDigit(s[i]) {
+					i++
+				}
+			}
+			toks = append(toks, token{Pos{line, start + 1}, tokNumber, s[start:i]})
+		case c == ',':
+			toks = append(toks, token{Pos{line, i + 1}, tokComma, ","})
+			i++
+		case c == '>' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{Pos{line, i + 1}, tokGE, ">="})
+			i += 2
+		case c == '<' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{Pos{line, i + 1}, tokLE, "<="})
+			i += 2
+		default:
+			return nil, &ParseError{Pos{line, i + 1}, fmt.Sprintf("unexpected character %q", rune(c))}
+		}
+	}
+	return toks, nil
+}
+
+// cursor walks one line's tokens; eol is the position just past the last
+// token, where missing-token errors point.
+type cursor struct {
+	toks []token
+	i    int
+	eol  Pos
+}
+
+func newCursor(line int, toks []token) *cursor {
+	eol := Pos{line, 1}
+	if n := len(toks); n > 0 {
+		last := toks[n-1]
+		eol = Pos{line, last.pos.Col + len(last.text)}
+	}
+	return &cursor{toks: toks, eol: eol}
+}
+
+func (c *cursor) peek() *token {
+	if c.i < len(c.toks) {
+		return &c.toks[c.i]
+	}
+	return nil
+}
+
+func (c *cursor) next() *token {
+	t := c.peek()
+	if t != nil {
+		c.i++
+	}
+	return t
+}
+
+func (c *cursor) expect(k tokKind, what string) (*token, error) {
+	t := c.next()
+	if t == nil {
+		return nil, &ParseError{c.eol, fmt.Sprintf("expected %s", what)}
+	}
+	if t.kind != k {
+		return nil, &ParseError{t.pos, fmt.Sprintf("expected %s, got %q", what, t.text)}
+	}
+	return t, nil
+}
+
+func (c *cursor) expectKeyword(word string) error {
+	t := c.next()
+	if t == nil {
+		return &ParseError{c.eol, fmt.Sprintf("expected %q", word)}
+	}
+	if t.kind != tokIdent || t.text != word {
+		return &ParseError{t.pos, fmt.Sprintf("expected %q, got %q", word, t.text)}
+	}
+	return nil
+}
+
+func (c *cursor) expectInt(what string) (int, Pos, error) {
+	t, err := c.expect(tokNumber, what)
+	if err != nil {
+		return 0, Pos{}, err
+	}
+	if strings.Contains(t.text, ".") {
+		return 0, t.pos, &ParseError{t.pos, fmt.Sprintf("%s must be an integer, got %q", what, t.text)}
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, t.pos, &ParseError{t.pos, fmt.Sprintf("bad %s %q", what, t.text)}
+	}
+	return v, t.pos, nil
+}
+
+func (c *cursor) expectEnd() error {
+	if t := c.peek(); t != nil {
+		return &ParseError{t.pos, fmt.Sprintf("unexpected %q after clause", t.text)}
+	}
+	return nil
+}
+
+// reserved words cannot name fields: they would collide with clause and
+// predicate keywords and make programs unreadable.
+var reserved = map[string]bool{
+	"program": true, "fields": true, "level": true, "match": true,
+	"equal": true, "distinct": true, "when": true, "and": true,
+	"cooccur": true, "jaro": true, "qgram": true, "lev": true,
+	"absdiff": true, "differ": true,
+}
+
+// Parse parses a rules program source into its AST. Errors are
+// *ParseError values carrying the offending line:col.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	clauses := 0
+	seenFields := false
+	for li, raw := range strings.Split(src, "\n") {
+		toks, err := lexLine(li+1, raw)
+		if err != nil {
+			return nil, err
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		c := newCursor(li+1, toks)
+		head := c.next()
+		if head.kind != tokIdent {
+			return nil, &ParseError{head.pos, fmt.Sprintf("expected clause keyword, got %q", head.text)}
+		}
+		switch head.text {
+		case "program":
+			if p.Name != "" {
+				return nil, &ParseError{head.pos, "duplicate program declaration"}
+			}
+			if clauses > 0 {
+				return nil, &ParseError{head.pos, "program declaration must come first"}
+			}
+			name, err := c.expect(tokIdent, "program name")
+			if err != nil {
+				return nil, err
+			}
+			p.Name = name.text
+			if err := c.expectEnd(); err != nil {
+				return nil, err
+			}
+		case "fields":
+			if seenFields {
+				return nil, &ParseError{head.pos, "duplicate fields declaration"}
+			}
+			seenFields = true
+			for {
+				f, err := c.expect(tokIdent, "field name")
+				if err != nil {
+					return nil, err
+				}
+				if reserved[f.text] {
+					return nil, &ParseError{f.pos, fmt.Sprintf("%q is a reserved word and cannot name a field", f.text)}
+				}
+				p.Fields = append(p.Fields, FieldDecl{f.pos, f.text})
+				t := c.peek()
+				if t == nil {
+					break
+				}
+				if t.kind != tokComma {
+					return nil, &ParseError{t.pos, fmt.Sprintf("expected ',' or end of line, got %q", t.text)}
+				}
+				c.next()
+			}
+		case "level":
+			lvl, _, err := c.expectInt("similarity level")
+			if err != nil {
+				return nil, err
+			}
+			if err := c.expectKeyword("when"); err != nil {
+				return nil, err
+			}
+			cond, err := parseConj(c)
+			if err != nil {
+				return nil, err
+			}
+			p.Levels = append(p.Levels, LevelClause{head.pos, lvl, cond})
+		case "match":
+			if err := c.expectKeyword("level"); err != nil {
+				return nil, err
+			}
+			lvl, _, err := c.expectInt("similarity level")
+			if err != nil {
+				return nil, err
+			}
+			mc := MatchClause{Pos: head.pos, Level: lvl}
+			if t := c.peek(); t != nil {
+				if err := c.expectKeyword("when"); err != nil {
+					return nil, err
+				}
+				if err := c.expectKeyword("cooccur"); err != nil {
+					return nil, err
+				}
+				if _, err := c.expect(tokGE, "'>='"); err != nil {
+					return nil, err
+				}
+				k, _, err := c.expectInt("support count")
+				if err != nil {
+					return nil, err
+				}
+				mc.Cooccur = k
+				if err := c.expectEnd(); err != nil {
+					return nil, err
+				}
+			}
+			p.Matches = append(p.Matches, mc)
+		case "equal", "distinct":
+			if err := c.expectKeyword("when"); err != nil {
+				return nil, err
+			}
+			cond, err := parseConj(c)
+			if err != nil {
+				return nil, err
+			}
+			p.Seeds = append(p.Seeds, SeedClause{head.pos, head.text == "distinct", cond})
+		default:
+			return nil, &ParseError{head.pos, fmt.Sprintf("unknown clause %q (want program, fields, level, match, equal or distinct)", head.text)}
+		}
+		clauses++
+	}
+	if p.Name == "" {
+		return nil, &ParseError{Pos{1, 1}, "missing program declaration"}
+	}
+	return p, nil
+}
+
+// parseConj parses "pred (and pred)*" to the end of the line.
+func parseConj(c *cursor) ([]Pred, error) {
+	var cond []Pred
+	for {
+		pred, err := parsePred(c)
+		if err != nil {
+			return nil, err
+		}
+		cond = append(cond, pred)
+		t := c.peek()
+		if t == nil {
+			return cond, nil
+		}
+		if err := c.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parsePred parses one "field op [cmp number]" predicate.
+func parsePred(c *cursor) (Pred, error) {
+	field, err := c.expect(tokIdent, "field name")
+	if err != nil {
+		return Pred{}, err
+	}
+	opTok, err := c.expect(tokIdent, "comparison operator")
+	if err != nil {
+		return Pred{}, err
+	}
+	pred := Pred{Pos: field.pos, Field: field.text}
+	switch opTok.text {
+	case "equal":
+		pred.Op = OpEqual
+	case "differ":
+		pred.Op = OpDiffer
+	case "jaro", "qgram":
+		if opTok.text == "jaro" {
+			pred.Op = OpJaro
+		} else {
+			pred.Op = OpQGram
+		}
+		if _, err := c.expect(tokGE, "'>='"); err != nil {
+			return Pred{}, err
+		}
+		num, err := c.expect(tokNumber, "similarity threshold")
+		if err != nil {
+			return Pred{}, err
+		}
+		v, perr := strconv.ParseFloat(num.text, 64)
+		if perr != nil {
+			return Pred{}, &ParseError{num.pos, fmt.Sprintf("bad threshold %q", num.text)}
+		}
+		pred.Num = v
+	case "lev":
+		pred.Op = OpLev
+		if _, err := c.expect(tokLE, "'<='"); err != nil {
+			return Pred{}, err
+		}
+		k, _, err := c.expectInt("edit distance")
+		if err != nil {
+			return Pred{}, err
+		}
+		pred.Num = float64(k)
+	case "absdiff":
+		pred.Op = OpAbsDiff
+		if _, err := c.expect(tokLE, "'<='"); err != nil {
+			return Pred{}, err
+		}
+		num, err := c.expect(tokNumber, "numeric threshold")
+		if err != nil {
+			return Pred{}, err
+		}
+		v, perr := strconv.ParseFloat(num.text, 64)
+		if perr != nil {
+			return Pred{}, &ParseError{num.pos, fmt.Sprintf("bad threshold %q", num.text)}
+		}
+		pred.Num = v
+	default:
+		return Pred{}, &ParseError{opTok.pos, fmt.Sprintf("unknown operator %q (want equal, differ, jaro, qgram, lev or absdiff)", opTok.text)}
+	}
+	return pred, nil
+}

@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const peopleSrc = `# people dedup, v1
+program people-v1
+fields name, street, zip, phone
+
+level 3 when name equal and phone equal
+level 2 when name jaro >= 0.9 and street qgram >= 0.5
+level 1 when name jaro >= 0.82
+
+match level 3
+match level 2 when cooccur >= 1
+match level 1 when cooccur >= 2
+
+equal when phone equal and zip equal
+distinct when name differ and zip differ
+`
+
+func TestParseProgram(t *testing.T) {
+	p, err := Parse(peopleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "people-v1" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if got := len(p.Fields); got != 4 {
+		t.Errorf("fields = %d", got)
+	}
+	if got := len(p.Levels); got != 3 {
+		t.Errorf("levels = %d", got)
+	}
+	if got := len(p.Matches); got != 3 {
+		t.Errorf("matches = %d", got)
+	}
+	if got := len(p.Seeds); got != 2 {
+		t.Errorf("seeds = %d", got)
+	}
+	if p.Matches[1].Cooccur != 1 || p.Matches[0].Cooccur != 0 {
+		t.Errorf("cooccur = %+v", p.Matches)
+	}
+	if !p.Seeds[1].Negated || p.Seeds[0].Negated {
+		t.Errorf("seeds = %+v", p.Seeds)
+	}
+	if p.Levels[1].Cond[0].Op != OpJaro || p.Levels[1].Cond[0].Num != 0.9 {
+		t.Errorf("level 2 pred = %+v", p.Levels[1].Cond[0])
+	}
+}
+
+// TestParseErrorPositions pins the exact line:col each malformed program
+// is reported at.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+		msg       string
+	}{
+		{"missing program", "fields a\nmatch level 3\n", 1, 1, "missing program declaration"},
+		{"program not first", "fields a\nprogram p\n", 2, 1, "must come first"},
+		{"duplicate program", "program p\nprogram q\n", 2, 1, "duplicate program"},
+		{"unknown clause", "program p\nmatcher level 3\n", 2, 1, "unknown clause"},
+		{"bad char", "program p\nlevel 3 when a ~ b\n", 2, 16, "unexpected character '~'"},
+		{"missing name", "program\n", 1, 8, "expected program name"},
+		{"duplicate fields", "program p\nfields a\nfields b\n", 3, 1, "duplicate fields"},
+		{"reserved field", "program p\nfields a, when\n", 2, 11, "reserved word"},
+		{"fields trailing comma", "program p\nfields a,\n", 2, 10, "expected field name"},
+		{"missing when", "program p\nlevel 2 a equal\n", 2, 9, `expected "when"`},
+		{"level float", "program p\nlevel 2.5 when a equal\n", 2, 7, "must be an integer"},
+		{"unknown operator", "program p\nfields a\nlevel 2 when a like 0.5\n", 3, 16, "unknown operator"},
+		{"jaro wrong cmp", "program p\nlevel 2 when a jaro <= 0.5\n", 2, 21, "expected '>='"},
+		{"lev float arg", "program p\nlevel 2 when a lev <= 0.5\n", 2, 23, "must be an integer"},
+		{"match missing level", "program p\nmatch 3\n", 2, 7, `expected "level"`},
+		{"match junk after", "program p\nmatch level 3 extra\n", 2, 15, `expected "when"`},
+		{"cooccur wrong cmp", "program p\nmatch level 2 when cooccur <= 1\n", 2, 28, "expected '>='"},
+		{"seed missing when", "program p\ndistinct zip differ\n", 2, 10, `expected "when"`},
+		{"dangling and", "program p\nfields a\nequal when a equal and\n", 3, 23, "expected field name"},
+		{"program junk after", "program p q\n", 1, 11, "unexpected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %v, want *ParseError", err)
+			}
+			if pe.Pos.Line != tc.line || pe.Pos.Col != tc.col {
+				t.Errorf("position = %s, want %d:%d (%v)", pe.Pos, tc.line, tc.col, pe)
+			}
+			if !strings.Contains(pe.Msg, tc.msg) {
+				t.Errorf("message %q does not mention %q", pe.Msg, tc.msg)
+			}
+		})
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	p, err := Parse(peopleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Print()
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("canonical form does not reparse: %v\n%s", err, out)
+	}
+	if out2 := p2.Print(); out2 != out {
+		t.Fatalf("print not a fixed point:\n%s\nvs\n%s", out, out2)
+	}
+	// Spot-check the canonical rendering.
+	if !strings.Contains(out, "match level 2 when cooccur >= 1\n") {
+		t.Errorf("canonical form missing support clause:\n%s", out)
+	}
+	if !strings.Contains(out, "level 2 when name jaro >= 0.9 and street qgram >= 0.5\n") {
+		t.Errorf("canonical form mangled predicates:\n%s", out)
+	}
+}
+
+// FuzzRuleParse: whatever parses must print to a canonical form that
+// reparses to the same canonical form (parse → print → reparse → print
+// is a fixed point), and neither stage may panic.
+func FuzzRuleParse(f *testing.F) {
+	f.Add(peopleSrc)
+	f.Add("program p\n")
+	f.Add("program p\nmatch level 3\nmatch level 1 when cooccur >= 2\n")
+	f.Add("program p\nfields a, b\nlevel 1 when a lev <= 2 and b absdiff <= 12.5\nequal when a equal\n")
+	f.Add("program p\n# comment\nfields x-y_z\ndistinct when x-y_z differ\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		p, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-ParseError from Parse: %v", err)
+			}
+			return
+		}
+		out := p.Print()
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\nsource: %q\nprinted: %q", err, src, out)
+		}
+		if out2 := p2.Print(); out2 != out {
+			t.Fatalf("print not a fixed point\nfirst:  %q\nsecond: %q", out, out2)
+		}
+		// Compilation must never panic either; errors are fine.
+		if pl, err := Compile(p); err == nil {
+			pl2, err2 := Compile(p2)
+			if err2 != nil {
+				t.Fatalf("reparsed program fails compile: %v", err2)
+			}
+			if len(pl.Rules) != len(pl2.Rules) {
+				t.Fatalf("rule count diverged across roundtrip")
+			}
+		}
+	})
+}

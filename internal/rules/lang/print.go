@@ -1,0 +1,82 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Print renders the program in canonical form: clause groups in fixed
+// order (program, fields, level, match, equal/distinct), one clause per
+// line, single spaces, numbers in shortest decimal notation. Print is a
+// fixed point: Parse(Print(p)) yields a program that prints identically,
+// which is what FuzzRuleParse pins.
+func (p *Program) Print() string {
+	var b strings.Builder
+	b.WriteString("program ")
+	b.WriteString(p.Name)
+	b.WriteByte('\n')
+	if len(p.Fields) > 0 {
+		b.WriteString("fields ")
+		for i, f := range p.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(f.Name)
+		}
+		b.WriteByte('\n')
+	}
+	for _, lc := range p.Levels {
+		b.WriteString("level ")
+		b.WriteString(strconv.Itoa(lc.Level))
+		b.WriteString(" when ")
+		writeConj(&b, lc.Cond)
+		b.WriteByte('\n')
+	}
+	for _, mc := range p.Matches {
+		b.WriteString("match level ")
+		b.WriteString(strconv.Itoa(mc.Level))
+		if mc.Cooccur != 0 {
+			b.WriteString(" when cooccur >= ")
+			b.WriteString(strconv.Itoa(mc.Cooccur))
+		}
+		b.WriteByte('\n')
+	}
+	for _, sc := range p.Seeds {
+		if sc.Negated {
+			b.WriteString("distinct when ")
+		} else {
+			b.WriteString("equal when ")
+		}
+		writeConj(&b, sc.Cond)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writeConj(b *strings.Builder, cond []Pred) {
+	for i, pr := range cond {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		b.WriteString(pr.Field)
+		b.WriteByte(' ')
+		b.WriteString(pr.Op.String())
+		switch pr.Op {
+		case OpJaro, OpQGram:
+			b.WriteString(" >= ")
+			b.WriteString(formatNum(pr.Num))
+		case OpLev:
+			b.WriteString(" <= ")
+			b.WriteString(strconv.Itoa(int(pr.Num)))
+		case OpAbsDiff:
+			b.WriteString(" <= ")
+			b.WriteString(formatNum(pr.Num))
+		}
+	}
+}
+
+// formatNum renders a threshold in plain decimal notation (never
+// exponent form, which the lexer does not accept).
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

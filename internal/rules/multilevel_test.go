@@ -1,22 +1,32 @@
 package rules
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/similarity"
 )
 
-// TestMultipleRulesSameLevel: when several rules target the same level,
-// the *least demanding* one governs (a disjunction of rule bodies).
+// TestMultipleRulesSameLevel: since PR 10, two rules on one level are
+// rejected outright — only the least-demanding one could ever govern, so
+// the duplicate is dead weight and almost always a typo'd level. The
+// single-rule equivalent derives the same matches.
 func TestMultipleRulesSameLevel(t *testing.T) {
 	d := buildDataset([][]ref{
 		{{"V. Rastogi", 0}, {"Nilesh Dalvi", 1}},
 		{{"V. Rastogi", 0}, {"Nilesh Dalvi", 1}},
 	})
-	prog := []Rule{
+	dup := []Rule{
 		{Level: similarity.LevelMedium, MinCoauthorMatches: 3},
-		{Level: similarity.LevelMedium, MinCoauthorMatches: 1}, // governs
+		{Level: similarity.LevelMedium, MinCoauthorMatches: 1},
+		{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
+	}
+	if _, err := New(d, allPairsCandidates(d), dup); !errors.Is(err, ErrDuplicateLevel) {
+		t.Fatalf("duplicate-level program: got %v, want ErrDuplicateLevel", err)
+	}
+	prog := []Rule{
+		{Level: similarity.LevelMedium, MinCoauthorMatches: 1},
 		{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
 	}
 	m, err := New(d, allPairsCandidates(d), prog)
@@ -24,10 +34,10 @@ func TestMultipleRulesSameLevel(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := m.Match(allRefs(d), nil, nil)
-	// The strong Dalvi pair fires by rule 3, giving the medium Rastogi
-	// pair its single required support via the 1-coauthor rule.
+	// The strong Dalvi pair fires unconditionally, giving the medium
+	// Rastogi pair its single required coauthor support.
 	if !out.Has(core.MakePair(0, 2)) {
-		t.Fatalf("least-demanding same-level rule not applied: %v", out.Sorted())
+		t.Fatalf("medium pair missing its coauthor support: %v", out.Sorted())
 	}
 }
 

@@ -17,6 +17,7 @@
 package rules
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,45 @@ import (
 type Rule struct {
 	Level              similarity.Level
 	MinCoauthorMatches int
+}
+
+// Program-validation errors, matchable with errors.Is. Validate wraps
+// each with the offending rule's details.
+var (
+	// ErrNegativeSupport marks a rule demanding a negative number of
+	// matched coauthor pairs.
+	ErrNegativeSupport = errors.New("rules: negative coauthor requirement")
+	// ErrUnknownLevel marks a rule on a level outside the discretized
+	// similarity buckets {1, 2, 3}: no candidate ever carries such a
+	// level, so the rule can never fire.
+	ErrUnknownLevel = errors.New("rules: unknown similarity level")
+	// ErrDuplicateLevel marks a program with two rules on the same
+	// level. Evaluation takes the least-demanding rule per level, so the
+	// more-demanding duplicate is dead weight — almost always a program
+	// mistake (the author meant a different level).
+	ErrDuplicateLevel = errors.New("rules: duplicate rule level")
+)
+
+// Validate checks a rule program for the degenerate shapes New used to
+// accept silently: negative support requirements, rules on levels no
+// candidate can carry, and duplicate levels (only the least-demanding
+// rule of a level is ever consulted, so a duplicate is dead). An empty
+// program is valid — it simply derives nothing.
+func Validate(rs []Rule) error {
+	seen := map[similarity.Level]int{}
+	for i, r := range rs {
+		if r.MinCoauthorMatches < 0 {
+			return fmt.Errorf("%w: rule %d wants %d matched coauthor pairs", ErrNegativeSupport, i, r.MinCoauthorMatches)
+		}
+		if r.Level < similarity.LevelWeak || r.Level > similarity.LevelStrong {
+			return fmt.Errorf("%w: rule %d fires on level %d, want 1..3", ErrUnknownLevel, i, r.Level)
+		}
+		if j, dup := seen[r.Level]; dup {
+			return fmt.Errorf("%w: rules %d and %d both fire on level %d", ErrDuplicateLevel, j, i, r.Level)
+		}
+		seen[r.Level] = i
+	}
+	return nil
 }
 
 // PaperRules returns the Appendix B program.
@@ -92,10 +132,10 @@ func New(d *bib.Dataset, cands []Candidate, rs []Rule, opts ...Option) (*Matcher
 		applyTC:  false,
 		maxLevel: map[similarity.Level][]Rule{},
 	}
+	if err := Validate(rs); err != nil {
+		return nil, err
+	}
 	for _, r := range rs {
-		if r.MinCoauthorMatches < 0 {
-			return nil, fmt.Errorf("rules: negative coauthor requirement")
-		}
 		m.maxLevel[r.Level] = append(m.maxLevel[r.Level], r)
 	}
 	for i, c := range cands {

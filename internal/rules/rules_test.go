@@ -2,6 +2,7 @@ package rules
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -335,6 +336,41 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(d, nil, []Rule{{Level: 1, MinCoauthorMatches: -1}}); err == nil {
 		t.Error("negative rule accepted")
+	}
+}
+
+// TestValidate exercises each typed rejection plus the accepted shapes.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		rs   []Rule
+		want error
+	}{
+		{"empty", nil, nil},
+		{"paper", PaperRules(), nil},
+		{"single", []Rule{{Level: similarity.LevelWeak, MinCoauthorMatches: 5}}, nil},
+		{"negative support", []Rule{{Level: similarity.LevelStrong, MinCoauthorMatches: -1}}, ErrNegativeSupport},
+		{"level zero", []Rule{{Level: similarity.LevelNone, MinCoauthorMatches: 0}}, ErrUnknownLevel},
+		{"level too high", []Rule{{Level: similarity.LevelStrong + 1, MinCoauthorMatches: 0}}, ErrUnknownLevel},
+		{"negative level", []Rule{{Level: -1, MinCoauthorMatches: 0}}, ErrUnknownLevel},
+		{"duplicate level", []Rule{
+			{Level: similarity.LevelMedium, MinCoauthorMatches: 1},
+			{Level: similarity.LevelStrong, MinCoauthorMatches: 0},
+			{Level: similarity.LevelMedium, MinCoauthorMatches: 2},
+		}, ErrDuplicateLevel},
+	}
+	d := buildDataset([][]ref{{{"A B", 0}}})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.rs)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want %v", err, tc.want)
+			}
+			_, newErr := New(d, nil, tc.rs)
+			if !errors.Is(newErr, tc.want) {
+				t.Fatalf("New = %v, want %v", newErr, tc.want)
+			}
+		})
 	}
 }
 

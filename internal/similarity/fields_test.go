@@ -1,0 +1,113 @@
+package similarity
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitJoinFields(t *testing.T) {
+	cases := []struct {
+		key  string
+		want []string
+	}{
+		{"ann smith | 12 oak st | 94110 | 555-0101", []string{"ann smith", "12 oak st", "94110", "555-0101"}},
+		{"solo", []string{"solo"}},
+		{"a||b", []string{"a", "", "b"}},
+		{"  padded  |x", []string{"padded", "x"}},
+	}
+	for _, tc := range cases {
+		got := SplitFields(tc.key)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitFields(%q) = %v, want %v", tc.key, got, tc.want)
+		}
+		if again := SplitFields(JoinFields(got)); !reflect.DeepEqual(again, got) {
+			t.Errorf("join/split roundtrip of %v changed: %v", got, again)
+		}
+	}
+}
+
+func TestNormalizeField(t *testing.T) {
+	cases := [][2]string{
+		{"  Oak   St.  ", "oak st"},
+		{"St, Mary", "st mary"},
+		{"94110", "94110"},
+		{"", ""},
+		{"...", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeField(c[0]); got != c[1] {
+			t.Errorf("NormalizeField(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestFieldPredicates(t *testing.T) {
+	if !FieldEqual("Oak St.", "oak   st") {
+		t.Error("normalized variants should be equal")
+	}
+	if FieldEqual("", "") || FieldEqual(" . ", ",") {
+		t.Error("empty fields must not count as equal")
+	}
+	if !FieldDiffer("94110", "94121") {
+		t.Error("distinct zips should differ")
+	}
+	if FieldDiffer("94110", "") || FieldDiffer("", "") {
+		t.Error("a missing field is never evidence of difference")
+	}
+}
+
+func TestParseNumberAndAbsDiff(t *testing.T) {
+	if v, ok := ParseNumber(" 41.5 "); !ok || v != 41.5 {
+		t.Errorf("ParseNumber(41.5) = %v, %v", v, ok)
+	}
+	for _, bad := range []string{"", "12 oak", "NaN", "Inf", "1e400"} {
+		if _, ok := ParseNumber(bad); ok {
+			t.Errorf("ParseNumber(%q) accepted", bad)
+		}
+	}
+	if d, ok := AbsDiff("30", "41.5"); !ok || d != 11.5 {
+		t.Errorf("AbsDiff = %v, %v", d, ok)
+	}
+	if _, ok := AbsDiff("30", "elm"); ok {
+		t.Error("AbsDiff with a non-number must not hold")
+	}
+}
+
+// FuzzFieldKernels: the typed-field kernels must agree exactly with the
+// underlying measures applied to normalized payloads (parity), and keep
+// the measures' own invariants: symmetry, range, and identity.
+func FuzzFieldKernels(f *testing.F) {
+	f.Add("Ann Smith", "ann smith")
+	f.Add("12 Oak St.", "12 oak street")
+	f.Add("", "94110")
+	f.Add("41.5", "30")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 256 || len(b) > 256 {
+			return
+		}
+		na, nb := NormalizeField(a), NormalizeField(b)
+		if j := FieldJaro(a, b); j != JaroWinkler(na, nb) || j < 0 || j > 1 || j != FieldJaro(b, a) {
+			t.Fatalf("FieldJaro parity broken on %q/%q", a, b)
+		}
+		if q := FieldQGram(a, b); q != QGramJaccard(na, nb, 2) || q < 0 || q > 1 || q != FieldQGram(b, a) {
+			t.Fatalf("FieldQGram parity broken on %q/%q", a, b)
+		}
+		if l := FieldLev(a, b); l != Levenshtein(na, nb) || l < 0 || l != FieldLev(b, a) {
+			t.Fatalf("FieldLev parity broken on %q/%q", a, b)
+		}
+		if FieldEqual(a, b) {
+			if FieldDiffer(a, b) || FieldJaro(a, b) != 1 || FieldLev(a, b) != 0 {
+				t.Fatalf("equal fields disagree with kernels: %q/%q", a, b)
+			}
+		}
+		if d, ok := AbsDiff(a, b); ok {
+			d2, ok2 := AbsDiff(b, a)
+			if !ok2 || d2 != d || d < 0 {
+				t.Fatalf("AbsDiff asymmetric on %q/%q", a, b)
+			}
+		}
+		if na != "" && !FieldEqual(a, a) {
+			t.Fatalf("FieldEqual not reflexive on %q", a)
+		}
+	})
+}

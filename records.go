@@ -1,6 +1,7 @@
 package cem
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/bib"
@@ -102,6 +103,16 @@ func WriteRecords(w io.Writer, name string, records []Record) error {
 // GenerateDataset) and returns it in raw record form — the natural input
 // of the Pipeline. Generation is deterministic in seed.
 func GenerateRecords(kind DatasetKind, scale float64, seed int64) ([]Record, error) {
+	if kind == People {
+		if err := datagen.ValidateScale(scale); err != nil {
+			return nil, fmt.Errorf("cem: %w", err)
+		}
+		raw, err := datagen.GeneratePeople(datagen.PeopleLike(scale, seed))
+		if err != nil {
+			return nil, err
+		}
+		return recordsFromBib(raw), nil
+	}
 	cfg, err := datagenConfig(kind, scale, seed)
 	if err != nil {
 		return nil, err

@@ -38,18 +38,28 @@ var (
 // panics if name is empty, factory is nil, or name is already
 // registered (like database/sql.Register).
 func RegisterMatcher(name string, factory MatcherFactory) {
+	if err := tryRegisterMatcher(name, factory); err != nil {
+		panic("cem: " + err.Error())
+	}
+}
+
+// tryRegisterMatcher is the error-returning registration path, used for
+// matchers that arrive from user input (rules files) rather than init
+// functions.
+func tryRegisterMatcher(name string, factory MatcherFactory) error {
 	if name == "" {
-		panic("cem: RegisterMatcher with empty name")
+		return fmt.Errorf("RegisterMatcher with empty name")
 	}
 	if factory == nil {
-		panic("cem: RegisterMatcher with nil factory for " + name)
+		return fmt.Errorf("RegisterMatcher with nil factory for %s", name)
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if _, dup := registry[name]; dup {
-		panic("cem: RegisterMatcher called twice for " + name)
+		return fmt.Errorf("matcher %q is already registered", name)
 	}
 	registry[name] = factory
+	return nil
 }
 
 // Matchers returns the sorted names of all registered matchers.
